@@ -1,0 +1,47 @@
+//! Criterion benches for whole-accelerator simulations on a small
+//! workload — tracks the end-to-end simulator's own throughput and keeps a
+//! per-accelerator timing row per paper lineup entry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgcn::accel::AccelModel;
+use sgcn::config::HwConfig;
+use sgcn::workload::Workload;
+use sgcn_graph::datasets::{DatasetId, SynthScale};
+use sgcn_model::NetworkConfig;
+
+fn bench_lineup(c: &mut Criterion) {
+    let wl = Workload::build(
+        DatasetId::Cora,
+        SynthScale::tiny(),
+        NetworkConfig::deep_residual(4, 96),
+        7,
+    );
+    let hw = HwConfig::default().with_cache_kib(16);
+    let mut g = c.benchmark_group("simulate_cora_tiny");
+    g.sample_size(10);
+    for model in AccelModel::fig11_lineup() {
+        g.bench_with_input(BenchmarkId::from_parameter(model.name), &model, |b, m| {
+            b.iter(|| m.simulate(&wl, &hw))
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_build");
+    g.sample_size(10);
+    g.bench_function("cora_tiny_4x96", |b| {
+        b.iter(|| {
+            Workload::build(
+                DatasetId::Cora,
+                SynthScale::tiny(),
+                NetworkConfig::deep_residual(4, 96),
+                7,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lineup, bench_workload_build);
+criterion_main!(benches);

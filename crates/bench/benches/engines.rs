@@ -1,0 +1,88 @@
+//! Criterion microbenches for the engine models: prefix-sum scan, sparse
+//! aggregation vs dense aggregation, compressor, systolic cycle model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sgcn_engines::{Compressor, PrefixSumUnit, SparseAggregator, SystolicArray, SystolicConfig};
+use sgcn_formats::{Beicsr, BeicsrConfig, Bitmap};
+use sgcn_model::features::synthesize_features;
+
+fn bench_prefix_sum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_sum");
+    g.throughput(Throughput::Elements(96));
+    let unit = PrefixSumUnit::new(96);
+    let m = synthesize_features(1, 96, 0.5, 7);
+    let bm = Bitmap::from_values(m.row_slice(0));
+    g.bench_function("scan_96", |b| b.iter(|| unit.scan(&bm)));
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let m = synthesize_features(256, 256, 0.55, 5);
+    let beicsr = Beicsr::encode(&m, BeicsrConfig::default());
+    let agg = SparseAggregator::default();
+    let mut g = c.benchmark_group("aggregation");
+    g.throughput(Throughput::Elements(256 * 256));
+    g.bench_function("sparse_rows", |b| {
+        b.iter(|| {
+            let mut acc = vec![0.0f32; 256];
+            for r in 0..256 {
+                agg.aggregate_row(&mut acc, &beicsr, r, 0.5);
+            }
+            acc
+        })
+    });
+    g.bench_function("dense_rows", |b| {
+        b.iter(|| {
+            let mut acc = vec![0.0f32; 256];
+            for r in 0..256 {
+                agg.aggregate_dense(&mut acc, m.row_slice(r), 0.5);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_compressor(c: &mut Criterion) {
+    let m = synthesize_features(256, 256, 0.0, 9);
+    let comp = Compressor::new();
+    let mut g = c.benchmark_group("compressor");
+    g.throughput(Throughput::Elements(256 * 256));
+    g.bench_function("relu_compress_256rows", |b| {
+        b.iter(|| {
+            let mut out = Beicsr::with_shape(256, 256, BeicsrConfig::default());
+            let mut total = 0u64;
+            for r in 0..256 {
+                total += comp.relu_compress_row(m.row_slice(r), &mut out, r).nonzeros;
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_systolic(c: &mut Criterion) {
+    let sa = SystolicArray::new(SystolicConfig::default());
+    let mut g = c.benchmark_group("systolic");
+    g.bench_function("cycle_model_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for m in [64usize, 256, 1024] {
+                for k in [64usize, 256] {
+                    total += sa.gemm_cycles(m, k, 256);
+                }
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prefix_sum,
+    bench_aggregation,
+    bench_compressor,
+    bench_systolic
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbenches for the feature formats: encode, decode, and
+//! span-generation throughput at the paper's operating point (width 256,
+//! ~50% sparsity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgcn_formats::{
+    Beicsr, BeicsrConfig, BlockedEllpack, BsrFeatures, ColRange, CooFeatures, CsrFeatures,
+    DenseMatrix, FeatureFormat,
+};
+use sgcn_model::features::synthesize_features;
+
+fn matrix(rows: usize, sparsity: f64) -> DenseMatrix {
+    synthesize_features(rows, 256, sparsity, 42)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let m = matrix(512, 0.55);
+    let elems = (512 * 256) as u64;
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Elements(elems));
+    g.bench_function("beicsr_sliced", |b| {
+        b.iter(|| Beicsr::encode(&m, BeicsrConfig::default()))
+    });
+    g.bench_function("beicsr_non_sliced", |b| {
+        b.iter(|| Beicsr::encode(&m, BeicsrConfig::non_sliced()))
+    });
+    g.bench_function("csr", |b| b.iter(|| CsrFeatures::encode(&m)));
+    g.bench_function("coo", |b| b.iter(|| CooFeatures::encode(&m)));
+    g.bench_function("bsr", |b| b.iter(|| BsrFeatures::encode(&m)));
+    g.bench_function("blocked_ellpack", |b| b.iter(|| BlockedEllpack::encode(&m)));
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let m = matrix(512, 0.55);
+    let beicsr = Beicsr::encode(&m, BeicsrConfig::default());
+    let csr = CsrFeatures::encode(&m);
+    let mut g = c.benchmark_group("decode_row");
+    g.bench_function("beicsr", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for r in 0..512 {
+                acc += beicsr.decode_row(r)[0];
+            }
+            acc
+        })
+    });
+    g.bench_function("csr", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for r in 0..512 {
+                acc += csr.decode_row(r)[0];
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_spans(c: &mut Criterion) {
+    let m = matrix(512, 0.55);
+    let beicsr = Beicsr::encode(&m, BeicsrConfig::default());
+    let mut g = c.benchmark_group("slice_spans");
+    for sparsity in [30u32, 50, 70] {
+        let ms = matrix(512, sparsity as f64 / 100.0);
+        let bs = Beicsr::encode(&ms, BeicsrConfig::default());
+        g.bench_with_input(BenchmarkId::new("beicsr", sparsity), &bs, |b, bs| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for r in 0..512 {
+                    for s in bs.slice_spans(r, ColRange::new(96, 192)) {
+                        total += u64::from(s.bytes);
+                    }
+                }
+                total
+            })
+        });
+    }
+    g.bench_function("beicsr_row_read_bytes", |b| {
+        b.iter(|| (0..512).map(|r| beicsr.row_read_bytes(r)).sum::<u64>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_spans);
+criterion_main!(benches);

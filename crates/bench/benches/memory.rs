@@ -1,0 +1,65 @@
+//! Criterion microbenches for the memory hierarchy: cache probe
+//! throughput and DRAM model service accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgcn_mem::{Cache, CacheConfig, Dram, DramConfig, MemorySystem, Traffic};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("sequential_probe", |b| {
+        let mut cache = Cache::new(CacheConfig::default());
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                cache.access(i * 64 % (1 << 20));
+            }
+        })
+    });
+    g.bench_function("random_probe", |b| {
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let addrs: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..(1u64 << 24))).collect();
+        b.iter(|| {
+            for &a in &addrs {
+                cache.access(a);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("streaming_bursts", |b| {
+        let mut dram = Dram::new(DramConfig::hbm2());
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                dram.access(i * 64, false);
+            }
+            dram.elapsed_cycles()
+        })
+    });
+    g.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_system");
+    g.throughput(Throughput::Bytes(10_000 * 256));
+    g.bench_function("read_256B_requests", |b| {
+        let mut mem = MemorySystem::new(CacheConfig::default(), DramConfig::hbm2());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let addrs: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..(1u64 << 26))).collect();
+        b.iter(|| {
+            for &a in &addrs {
+                mem.read(a, 256, Traffic::FeatureRead);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_dram, bench_system);
+criterion_main!(benches);

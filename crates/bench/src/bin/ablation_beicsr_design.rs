@@ -1,0 +1,17 @@
+//! Design ablation: BEICSR's embedded-bitmap and in-place choices (§V-A)
+//! measured in isolation against a separate-index variant and a packed
+//! variable-length variant.
+
+use sgcn::experiments::ablation_beicsr_design;
+use sgcn_bench::{banner, experiment_config, selected_datasets};
+
+fn main() {
+    banner("Ablation: BEICSR design choices");
+    let cfg = experiment_config();
+    println!("{}", ablation_beicsr_design(&cfg, &selected_datasets()));
+    println!(
+        "Expected shape: moving the bitmap to a separate array or packing rows\n\
+         variable-length both increase DRAM traffic relative to the paper's\n\
+         embedded in-place layout (rows ≥ 1.0)."
+    );
+}

@@ -1,0 +1,18 @@
+//! Design ablation: SAC strip-height sweep around the paper's empirical
+//! default of 32 rows (§V-C).
+
+use sgcn::experiments::ablation_sac_strip;
+use sgcn_bench::{banner, experiment_config, selected_datasets};
+
+fn main() {
+    banner("Ablation: SAC strip height");
+    let cfg = experiment_config();
+    println!(
+        "{}",
+        ablation_sac_strip(&cfg, &[8, 16, 32, 64, 128], &selected_datasets())
+    );
+    println!(
+        "Expected shape: a broad plateau around the paper's strip height of 32;\n\
+         very tall strips degenerate toward the conventional split."
+    );
+}

@@ -1,0 +1,49 @@
+//! Internal debugging harness: prints the cycle/traffic components of each
+//! accelerator on paper-scale workloads. Not part of the paper reproduction.
+
+use sgcn::accel::AccelModel;
+use sgcn::experiments::ExperimentConfig;
+use sgcn::workload::Workload;
+use sgcn_graph::datasets::DatasetId;
+use sgcn_mem::Traffic;
+
+fn main() {
+    let cfg = ExperimentConfig::paper();
+    let hw = cfg.hw();
+    for id in [DatasetId::PubMed, DatasetId::Github] {
+        let wl = Workload::build(id, cfg.scale, cfg.network(), cfg.seed);
+        println!(
+            "=== {} (V={} E={} spars={:.2})",
+            id.abbrev(),
+            wl.vertices(),
+            wl.effective_edges(),
+            wl.trace.avg_intermediate_sparsity()
+        );
+        println!(
+            "{:>18} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "accel", "cycles", "agg", "comb", "mem", "dram_bytes", "topo", "f-in", "f-out",
+            "partial", "hit%"
+        );
+        let mut lineup = AccelModel::fig11_lineup();
+        lineup.push(AccelModel::sgcn_no_sac());
+        lineup.push(AccelModel::sgcn_non_sliced());
+        for m in lineup {
+            let r = m.simulate(&wl, &hw);
+            println!(
+                "{:>18} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8.1} {:>8.1}",
+                r.accelerator,
+                r.cycles,
+                r.agg_cycles,
+                r.comb_cycles,
+                r.mem_cycles,
+                r.dram_bytes(),
+                r.dram_bytes_for(Traffic::Topology),
+                r.dram_bytes_for(Traffic::FeatureRead),
+                r.dram_bytes_for(Traffic::FeatureWrite),
+                r.dram_bytes_for(Traffic::PartialSum),
+                100.0 * r.mem.cache.hit_rate(),
+                100.0 * r.mem.dram.row_hit_rate(),
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Internal debugging harness: paper-scale Fig. 11 shape check on a
+//! subset of datasets.
+
+use sgcn::experiments::{fig11_performance, ExperimentConfig};
+use sgcn_graph::datasets::DatasetId;
+
+fn main() {
+    let cfg = ExperimentConfig::paper();
+    let datasets = [DatasetId::Cora, DatasetId::PubMed, DatasetId::Reddit, DatasetId::Github];
+    let t0 = std::time::Instant::now();
+    let grid = fig11_performance(&cfg, &datasets);
+    println!("{grid}");
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

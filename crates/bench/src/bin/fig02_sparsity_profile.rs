@@ -1,0 +1,57 @@
+//! Fig. 2: (a) traditional (3/5-layer) vs modern (3/5/28-layer residual)
+//! average sparsity per dataset; (b) per-layer sparsity of the 28-layer
+//! residual network.
+
+use sgcn::experiments::{fig01_sparsity_vs_layers, fig02_per_layer_sparsity, Grid};
+use sgcn_bench::{banner, experiment_config};
+use sgcn_graph::builder::Normalization;
+use sgcn_graph::datasets::{Dataset, DatasetId};
+
+fn main() {
+    banner("Fig 2: sparsity profiles");
+    let cfg = experiment_config();
+
+    // (a): traditional vs modern at 3, 5, 28 layers for all datasets.
+    let cols = vec![
+        "trad3".to_string(),
+        "trad5".to_string(),
+        "mod3".to_string(),
+        "mod5".to_string(),
+        "mod28".to_string(),
+    ];
+    let rows: Vec<String> = DatasetId::ALL.iter().map(|d| d.abbrev().to_string()).collect();
+    let mut a = Grid::new("Fig 2a: avg sparsity (%), traditional vs residual", cols, rows);
+    for id in DatasetId::ALL {
+        let ds = Dataset::synthesize(id, cfg.scale, Normalization::Symmetric);
+        let avg = |l: usize, modern: bool| -> f64 {
+            (0..l)
+                .map(|i| {
+                    if modern {
+                        ds.intermediate_sparsity(i, l)
+                    } else {
+                        ds.traditional_sparsity(i, l)
+                    }
+                })
+                .sum::<f64>()
+                / l as f64
+                * 100.0
+        };
+        a.set(id.abbrev(), "trad3", avg(3, false));
+        a.set(id.abbrev(), "trad5", avg(5, false));
+        a.set(id.abbrev(), "mod3", avg(3, true));
+        a.set(id.abbrev(), "mod5", avg(5, true));
+        a.set(id.abbrev(), "mod28", avg(28, true));
+    }
+    println!("{a}");
+
+    // (b): per-layer trajectory.
+    println!("{}", fig02_per_layer_sparsity(&cfg));
+
+    // Depth context from Fig. 1's driver (re-used here for CR/CS/PM).
+    println!("{}", fig01_sparsity_vs_layers(&cfg, &[3, 5, 28]));
+    println!(
+        "Paper shape: adding the residual connection lifts sparsity above 50%\n\
+         even at 3 layers; per-layer sparsity sits in the 40–80% band and rises\n\
+         toward the output layer."
+    );
+}

@@ -1,0 +1,17 @@
+//! Fig. 13: energy breakdown (compute / cache / DRAM) normalized to GCNAX,
+//! plus peak-power estimates.
+
+use sgcn::experiments::fig13_energy;
+use sgcn_bench::{banner, experiment_config, selected_datasets};
+
+fn main() {
+    banner("Fig 13: energy");
+    let cfg = experiment_config();
+    let grid = fig13_energy(&cfg, &selected_datasets());
+    println!("{grid}");
+    println!(
+        "Paper shape: SGCN consumes ~44% less energy than GCNAX (DRAM component\n\
+         dominates and shrinks with the traffic); TDP ordering HyGCN < SGCN <\n\
+         AWB-GCN < GCNAX (5.94 / 6.74 / 7.03 / 7.16 W)."
+    );
+}

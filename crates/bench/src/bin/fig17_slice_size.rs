@@ -1,0 +1,17 @@
+//! Fig. 17: SGCN's off-chip access sensitivity to the unit slice size C.
+
+use sgcn::experiments::fig17_slice_sensitivity;
+use sgcn_bench::{banner, experiment_config, selected_datasets};
+
+fn main() {
+    banner("Fig 17: slice-size sensitivity");
+    let cfg = experiment_config();
+    println!(
+        "{}",
+        fig17_slice_sensitivity(&cfg, &[32, 64, 96, 128, 256], &selected_datasets())
+    );
+    println!(
+        "Paper shape: performance is flat within C = 32..256 with the best point\n\
+         around C = 96; bad choices still beat the dense baseline."
+    );
+}

@@ -1,0 +1,19 @@
+//! Fig. 18: SGCN scalability with engine count on HBM1 vs HBM2.
+
+use sgcn::experiments::fig18_scalability;
+use sgcn_bench::{banner, experiment_config};
+use sgcn_graph::datasets::DatasetId;
+
+fn main() {
+    banner("Fig 18: scalability");
+    let cfg = experiment_config();
+    println!(
+        "{}",
+        fig18_scalability(&cfg, &[1, 2, 4, 8, 16, 32], DatasetId::Reddit)
+    );
+    println!(
+        "Paper shape: near-linear scaling to ~8 engines, saturating around 16 as\n\
+         the memory module's bandwidth limit is reached; HBM1 saturates earlier\n\
+         and at roughly half the speedup."
+    );
+}

@@ -1,0 +1,22 @@
+//! Fig. 19: speedup across synthetic uniform feature sparsity 5–95% for
+//! Dense, CSR and SGCN storage.
+
+use sgcn::experiments::fig19_sparsity_sweep;
+use sgcn_bench::{banner, experiment_config, quick_mode};
+use sgcn_graph::datasets::DatasetId;
+
+fn main() {
+    banner("Fig 19: sparsity sweep");
+    let cfg = experiment_config();
+    let pts: Vec<u32> = if quick_mode() {
+        vec![10, 30, 50, 70, 90]
+    } else {
+        (1..=19).map(|i| i * 5).collect()
+    };
+    println!("{}", fig19_sparsity_sweep(&cfg, &pts, DatasetId::PubMed));
+    println!(
+        "Paper shape: Dense wins only below ~5% sparsity; SGCN wins essentially\n\
+         everywhere above; CSR breaks even only beyond ~90% where its column\n\
+         indices finally undercut the bitmap."
+    );
+}

@@ -1,0 +1,163 @@
+//! `sgcn_sim` — command-line driver for one-off simulations.
+//!
+//! ```text
+//! Usage: sgcn_sim [options]
+//!   --dataset <CR|CS|PM|NL|RD|FK|YP|DB|GH>   (default PM)
+//!   --accel   <sgcn|gcnax|hygcn|awb|engn|igcn|all>  (default all)
+//!   --layers  <n>        network depth        (default 28)
+//!   --width   <n>        feature width        (default 256)
+//!   --cache   <kib>      cache capacity KiB   (default 64)
+//!   --engines <n>        engine count         (default 8)
+//!   --hbm     <1|2>      HBM generation       (default 2)
+//!   --slice   <elems>    BEICSR slice width   (default 96)
+//!   --vertices <n>       synth vertex cap     (default 2048)
+//!   --variant <gcn|gin|sage>                  (default gcn)
+//! ```
+
+use sgcn::accel::AccelModel;
+use sgcn::config::HwConfig;
+use sgcn::workload::Workload;
+use sgcn_graph::datasets::{DatasetId, SynthScale};
+use sgcn_mem::{HbmGeneration, Traffic};
+use sgcn_model::{GcnVariant, NetworkConfig};
+
+struct Options {
+    dataset: DatasetId,
+    accel: String,
+    layers: usize,
+    width: usize,
+    cache_kib: u64,
+    engines: usize,
+    hbm: HbmGeneration,
+    slice: usize,
+    vertices: usize,
+    variant: GcnVariant,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sgcn_sim [--dataset D] [--accel A] [--layers N] [--width N] \
+         [--cache KIB] [--engines N] [--hbm 1|2] [--slice N] [--vertices N] \
+         [--variant gcn|gin|sage]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        dataset: DatasetId::PubMed,
+        accel: "all".into(),
+        layers: 28,
+        width: 256,
+        cache_kib: 64,
+        engines: 8,
+        hbm: HbmGeneration::Hbm2,
+        slice: 96,
+        vertices: 2048,
+        variant: GcnVariant::Gcn,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = args.get(i + 1).unwrap_or_else(|| usage()).as_str();
+        match key {
+            "--dataset" => {
+                opts.dataset = DatasetId::ALL
+                    .into_iter()
+                    .find(|d| d.abbrev().eq_ignore_ascii_case(val))
+                    .unwrap_or_else(|| usage());
+            }
+            "--accel" => opts.accel = val.to_lowercase(),
+            "--layers" => opts.layers = val.parse().unwrap_or_else(|_| usage()),
+            "--width" => opts.width = val.parse().unwrap_or_else(|_| usage()),
+            "--cache" => opts.cache_kib = val.parse().unwrap_or_else(|_| usage()),
+            "--engines" => opts.engines = val.parse().unwrap_or_else(|_| usage()),
+            "--hbm" => {
+                opts.hbm = match val {
+                    "1" => HbmGeneration::Hbm1,
+                    "2" => HbmGeneration::Hbm2,
+                    _ => usage(),
+                }
+            }
+            "--slice" => opts.slice = val.parse().unwrap_or_else(|_| usage()),
+            "--vertices" => opts.vertices = val.parse().unwrap_or_else(|_| usage()),
+            "--variant" => {
+                opts.variant = match val {
+                    "gcn" => GcnVariant::Gcn,
+                    "gin" => GcnVariant::GinConv { eps: 0.0 },
+                    "sage" => GcnVariant::GraphSage { sample: 8 },
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn lineup_for(name: &str, slice: usize) -> Vec<AccelModel> {
+    match name {
+        "all" => AccelModel::fig11_lineup(),
+        "sgcn" => vec![AccelModel::sgcn_with_slice(slice)],
+        "gcnax" => vec![AccelModel::gcnax()],
+        "hygcn" => vec![AccelModel::hygcn()],
+        "awb" | "awb-gcn" => vec![AccelModel::awb_gcn()],
+        "engn" => vec![AccelModel::engn()],
+        "igcn" | "i-gcn" => vec![AccelModel::igcn()],
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = SynthScale {
+        max_vertices: opts.vertices,
+        max_avg_degree: 24.0,
+        max_input_features: 2048,
+    };
+    let network = NetworkConfig::deep_residual(opts.layers, opts.width).with_variant(opts.variant);
+    let workload = Workload::build(opts.dataset, scale, network, 2023);
+    let hw = HwConfig::default()
+        .with_cache_kib(opts.cache_kib)
+        .with_engines(opts.engines)
+        .with_hbm(opts.hbm);
+
+    println!(
+        "{}: {} vertices, {} effective edges, {} layers × {} features, sparsity {:.1}%",
+        workload.dataset.spec.name,
+        workload.vertices(),
+        workload.effective_edges(),
+        opts.layers,
+        opts.width,
+        100.0 * workload.trace.avg_intermediate_sparsity()
+    );
+    println!(
+        "platform: {} engines, {} KiB cache, {:?}\n",
+        opts.engines, opts.cache_kib, opts.hbm
+    );
+    println!(
+        "{:<10} {:>12} {:>9} {:>14} {:>11} {:>10} {:>8}",
+        "accel", "cycles", "time(ms)", "DRAM bytes", "cache-hit%", "energy(mJ)", "TDP(W)"
+    );
+    for model in lineup_for(&opts.accel, opts.slice) {
+        let r = model.simulate(&workload, &hw);
+        println!(
+            "{:<10} {:>12} {:>9.3} {:>14} {:>10.1}% {:>10.2} {:>8.2}",
+            r.accelerator,
+            r.cycles,
+            r.time_ms(),
+            r.dram_bytes(),
+            100.0 * r.mem.cache.hit_rate(),
+            r.energy.total_mj(),
+            r.tdp_watts
+        );
+        for kind in Traffic::ALL {
+            let t = r.mem.traffic(kind);
+            if t.dram_bytes > 0 {
+                println!("             {:<12} {:>12} B", kind.label(), t.dram_bytes);
+            }
+        }
+    }
+}

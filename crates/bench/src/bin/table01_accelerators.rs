@@ -1,0 +1,39 @@
+//! Table I: qualitative comparison of the modelled GCN accelerators.
+
+use sgcn::accel::{AccelModel, FeatureStorage, PhaseOrder, TilingPolicy};
+use sgcn_bench::banner;
+
+fn main() {
+    banner("Table I: accelerator comparison");
+    println!(
+        "{:<12} {:>20} {:>12} {:>12} {:>10} {:>8}",
+        "Accelerator", "Compressed feature?", "Order", "Tiling", "Reorder", "SAC"
+    );
+    for m in AccelModel::fig11_lineup() {
+        let feat = match m.storage {
+            FeatureStorage::Dense => "no (dense)",
+            FeatureStorage::Beicsr(_) => "BEICSR",
+        };
+        let order = match m.order {
+            PhaseOrder::AggFirst => "Aggr. first",
+            PhaseOrder::CombFirst => "Comb. first",
+        };
+        let tiling = match m.tiling {
+            TilingPolicy::None => "none",
+            TilingPolicy::CacheSized { .. } => "cache-sized",
+        };
+        println!(
+            "{:<12} {:>20} {:>12} {:>12} {:>10} {:>8}",
+            m.name,
+            feat,
+            order,
+            tiling,
+            format!("{:?}", m.reorder),
+            if m.sac { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "\nPaper Table I additionally notes target depths (all baselines 1–3\n\
+         layers, SGCN >5) and residual support (SGCN only)."
+    );
+}

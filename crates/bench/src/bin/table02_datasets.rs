@@ -1,0 +1,15 @@
+//! Table II: the benchmark dataset catalog, full-scale stats and the
+//! synthesized (scaled) instantiation actually simulated.
+
+use sgcn::experiments::table02_datasets;
+use sgcn_bench::{banner, experiment_config};
+
+fn main() {
+    banner("Table II: datasets");
+    println!("{}", table02_datasets(&experiment_config()));
+    println!(
+        "Full-scale columns come from the paper's Table II; SynthV/SynthE are\n\
+         the scaled synthetic graphs (see DESIGN.md, Substitutions) and Scale is\n\
+         the vertex scale factor."
+    );
+}

@@ -1,0 +1,40 @@
+//! Table III: the evaluated system configuration.
+
+use sgcn::config::HwConfig;
+use sgcn_bench::{banner, experiment_config};
+
+fn main() {
+    banner("Table III: system configuration");
+    let hw = HwConfig::default();
+    let scaled = experiment_config().hw();
+    println!("Accelerator engine");
+    println!("  frequency            : {} GHz", hw.frequency_hz as f64 / 1e9);
+    println!(
+        "  combination          : {}× {}x{} systolic array",
+        hw.combination_engines, hw.systolic.rows, hw.systolic.cols
+    );
+    println!(
+        "  aggregation          : {}× {}-way SIMD",
+        hw.aggregation_engines, hw.simd_lanes
+    );
+    println!("Global cache");
+    println!(
+        "  capacity             : {} KB ({} KB scaled for experiments)",
+        hw.cache.capacity_bytes / 1024,
+        scaled.cache.capacity_bytes / 1024
+    );
+    println!("  ways                 : {}", hw.cache.ways);
+    println!("  replacement          : LRU");
+    println!("Off-chip memory");
+    println!("  spec                 : HBM2");
+    println!(
+        "  peak bandwidth       : {} GB/s ({}% achievable)",
+        hw.dram.peak_bytes_per_cycle as u64,
+        (hw.dram.efficiency * 100.0) as u64
+    );
+    println!("  channels             : {}", hw.dram.channels);
+    println!(
+        "  banks                : {} per channel (4×4)",
+        hw.dram.banks_per_channel
+    );
+}

@@ -1,0 +1,47 @@
+//! Shared scaffolding for the figure/table harness binaries.
+//!
+//! Every binary regenerates one table or figure of the SGCN paper's
+//! evaluation. Set `SGCN_QUICK=1` to run each on the fast test-scale
+//! configuration instead of the paper-scale one.
+
+use sgcn::experiments::ExperimentConfig;
+use sgcn_graph::datasets::DatasetId;
+
+/// The experiment configuration selected by the `SGCN_QUICK` environment
+/// variable (`1` → quick).
+pub fn experiment_config() -> ExperimentConfig {
+    if quick_mode() {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    }
+}
+
+/// Whether `SGCN_QUICK=1` is set.
+pub fn quick_mode() -> bool {
+    std::env::var("SGCN_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The nine evaluation datasets in the paper's order.
+pub fn all_datasets() -> Vec<DatasetId> {
+    DatasetId::ALL.to_vec()
+}
+
+/// A smaller dataset set for quick mode.
+pub fn selected_datasets() -> Vec<DatasetId> {
+    if quick_mode() {
+        vec![DatasetId::Cora, DatasetId::PubMed, DatasetId::Github]
+    } else {
+        all_datasets()
+    }
+}
+
+/// Prints a standard harness header.
+pub fn banner(what: &str) {
+    println!("=== SGCN reproduction — {what} ===");
+    println!(
+        "mode: {}",
+        if quick_mode() { "quick (SGCN_QUICK=1)" } else { "paper-scale" }
+    );
+    println!();
+}

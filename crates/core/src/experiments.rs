@@ -1,0 +1,889 @@
+//! Experiment drivers — one per table/figure of the paper's evaluation.
+//!
+//! Every driver returns a [`Grid`] (row × column matrix of named values)
+//! that the `sgcn-bench` binaries print; tests assert the *shape* claims
+//! (who wins, roughly by how much) on scaled-down configurations.
+
+use std::fmt;
+
+use sgcn_formats::FormatKind;
+use sgcn_graph::datasets::{DatasetId, SynthScale};
+use sgcn_mem::{HbmGeneration, Traffic};
+use sgcn_model::{GcnVariant, NetworkConfig};
+
+use crate::accel::sim::run_format_study;
+use crate::accel::AccelModel;
+use crate::config::HwConfig;
+use crate::metrics::{GeoMean, SimReport};
+use crate::workload::Workload;
+
+/// Scale knobs shared by all experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Dataset synthesis scale.
+    pub scale: SynthScale,
+    /// Network depth (paper: 28).
+    pub layers: usize,
+    /// Intermediate feature width (paper: 256).
+    pub width: usize,
+    /// Global cache capacity in KiB. The graphs are scaled down, so the
+    /// cache scales with them to preserve the paper's regime of feature
+    /// working sets far exceeding the cache (Reddit's full-scale feature
+    /// matrix is ~465× the 512 KB cache; 2048 vertices × 1 KB rows against
+    /// 64 KB keeps a 32× ratio).
+    pub cache_kib: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper-shaped configuration (28 × 256) on scaled-down graphs
+    /// with a proportionally scaled cache.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            scale: SynthScale {
+                max_vertices: 2048,
+                max_avg_degree: 24.0,
+                max_input_features: 2048,
+            },
+            layers: 28,
+            width: 256,
+            cache_kib: 64,
+            seed: 2023,
+        }
+    }
+
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            scale: SynthScale::tiny(),
+            layers: 6,
+            width: 192,
+            cache_kib: 16,
+            seed: 2023,
+        }
+    }
+
+    /// The network this config describes.
+    pub fn network(&self) -> NetworkConfig {
+        NetworkConfig::deep_residual(self.layers, self.width)
+    }
+
+    /// The hardware platform this config describes (Table III with the
+    /// scaled cache).
+    pub fn hw(&self) -> HwConfig {
+        HwConfig::default().with_cache_kib(self.cache_kib)
+    }
+
+    fn workload(&self, id: DatasetId, network: NetworkConfig) -> Workload {
+        Workload::build(id, self.scale, network, self.seed)
+    }
+}
+
+/// A named row × column matrix of experiment results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column names.
+    pub cols: Vec<String>,
+    /// Row names.
+    pub rows: Vec<String>,
+    /// Row-major values.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Grid {
+    /// Creates an empty grid with the given shape labels.
+    pub fn new(title: impl Into<String>, cols: Vec<String>, rows: Vec<String>) -> Self {
+        let (r, c) = (rows.len(), cols.len());
+        Grid {
+            title: title.into(),
+            cols,
+            rows,
+            values: vec![vec![0.0; c]; r],
+        }
+    }
+
+    /// Looks up a value by names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is unknown.
+    pub fn get(&self, row: &str, col: &str) -> f64 {
+        let r = self.rows.iter().position(|x| x == row).unwrap_or_else(|| {
+            panic!("unknown row {row:?}; have {:?}", self.rows)
+        });
+        let c = self.cols.iter().position(|x| x == col).unwrap_or_else(|| {
+            panic!("unknown col {col:?}; have {:?}", self.cols)
+        });
+        self.values[r][c]
+    }
+
+    /// Sets a value by names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is unknown.
+    pub fn set(&mut self, row: &str, col: &str, v: f64) {
+        let r = self
+            .rows
+            .iter()
+            .position(|x| x == row)
+            .unwrap_or_else(|| panic!("unknown row {row:?}"));
+        let c = self
+            .cols
+            .iter()
+            .position(|x| x == col)
+            .unwrap_or_else(|| panic!("unknown col {col:?}"));
+        self.values[r][c] = v;
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let w = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(4)
+            .max(4)
+            + 2;
+        write!(f, "{:w$}", "")?;
+        for c in &self.cols {
+            write!(f, "{c:>10}")?;
+        }
+        writeln!(f)?;
+        for (r, row) in self.rows.iter().zip(&self.values) {
+            write!(f, "{r:<w$}")?;
+            for v in row {
+                write!(f, "{v:>10.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn dataset_cols(datasets: &[DatasetId]) -> Vec<String> {
+    datasets.iter().map(|d| d.abbrev().to_string()).collect()
+}
+
+/// Fig. 1 / Fig. 2a-b: average intermediate sparsity of traditional vs
+/// modern (residual) GCNs across depths, and the per-layer trajectory.
+pub fn fig01_sparsity_vs_layers(cfg: &ExperimentConfig, depths: &[usize]) -> Grid {
+    let datasets = [DatasetId::Cora, DatasetId::CiteSeer, DatasetId::PubMed];
+    let mut rows = Vec::new();
+    for d in &datasets {
+        rows.push(format!("{} modern", d.abbrev()));
+        rows.push(format!("{} traditional", d.abbrev()));
+    }
+    let cols: Vec<String> = depths.iter().map(|d| format!("L{d}")).collect();
+    let mut grid = Grid::new("Fig 1: avg intermediate sparsity (%) vs depth", cols, rows);
+    for id in datasets {
+        let ds = sgcn_graph::datasets::Dataset::synthesize(
+            id,
+            cfg.scale,
+            sgcn_graph::builder::Normalization::Symmetric,
+        );
+        for &l in depths {
+            let modern: f64 =
+                (0..l).map(|i| ds.intermediate_sparsity(i, l)).sum::<f64>() / l as f64;
+            let trad: f64 =
+                (0..l).map(|i| ds.traditional_sparsity(i, l)).sum::<f64>() / l as f64;
+            grid.set(&format!("{} modern", id.abbrev()), &format!("L{l}"), modern * 100.0);
+            grid.set(
+                &format!("{} traditional", id.abbrev()),
+                &format!("L{l}"),
+                trad * 100.0,
+            );
+        }
+    }
+    grid
+}
+
+/// Fig. 2b: per-layer sparsity of the 28-layer residual network, all nine
+/// datasets.
+pub fn fig02_per_layer_sparsity(cfg: &ExperimentConfig) -> Grid {
+    let cols: Vec<String> = (0..cfg.layers).map(|l| format!("{l}")).collect();
+    let rows: Vec<String> = DatasetId::ALL.iter().map(|d| d.abbrev().to_string()).collect();
+    let mut grid = Grid::new(
+        format!("Fig 2b: per-layer intermediate sparsity (%), {}-layer residual GCN", cfg.layers),
+        cols,
+        rows,
+    );
+    for id in DatasetId::ALL {
+        let ds = sgcn_graph::datasets::Dataset::synthesize(
+            id,
+            cfg.scale,
+            sgcn_graph::builder::Normalization::Symmetric,
+        );
+        for l in 0..cfg.layers {
+            grid.set(
+                id.abbrev(),
+                &format!("{l}"),
+                ds.intermediate_sparsity(l, cfg.layers) * 100.0,
+            );
+        }
+    }
+    grid
+}
+
+/// Fig. 3: normalized off-chip memory access and speedup per feature
+/// format. Returns `(normalized_traffic, speedup)` grids, both normalized
+/// to Dense.
+pub fn fig03_format_comparison(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> (Grid, Grid) {
+    let hw = cfg.hw();
+    let formats = [
+        FormatKind::Dense,
+        FormatKind::Csr,
+        FormatKind::Coo,
+        FormatKind::Bsr,
+        FormatKind::BlockedEllpack,
+    ];
+    let mut row_names: Vec<String> = formats.iter().map(|f| f.label().to_string()).collect();
+    row_names.push("BEICSR".into());
+    row_names.push("BEICSR+SAC".into());
+    let mut traffic = Grid::new(
+        "Fig 3: off-chip memory access normalized to Dense",
+        dataset_cols(datasets),
+        row_names.clone(),
+    );
+    let mut speedup = Grid::new(
+        "Fig 3: speedup over Dense",
+        dataset_cols(datasets),
+        row_names,
+    );
+    for &id in datasets {
+        let wl = cfg.workload(id, cfg.network());
+        let dense = run_format_study(FormatKind::Dense, &wl, &hw);
+        for kind in formats {
+            let r = if kind == FormatKind::Dense {
+                dense.clone()
+            } else {
+                run_format_study(kind, &wl, &hw)
+            };
+            traffic.set(kind.label(), id.abbrev(), r.traffic_vs(&dense));
+            speedup.set(kind.label(), id.abbrev(), r.speedup_over(&dense));
+        }
+        let beicsr = AccelModel::sgcn_no_sac().simulate(&wl, &hw);
+        traffic.set("BEICSR", id.abbrev(), beicsr.traffic_vs(&dense));
+        speedup.set("BEICSR", id.abbrev(), beicsr.speedup_over(&dense));
+        let sac = AccelModel::sgcn().simulate(&wl, &hw);
+        traffic.set("BEICSR+SAC", id.abbrev(), sac.traffic_vs(&dense));
+        speedup.set("BEICSR+SAC", id.abbrev(), sac.speedup_over(&dense));
+    }
+    (traffic, speedup)
+}
+
+/// Runs a lineup on datasets, returning speedups normalized to the first
+/// model in the lineup (the paper normalizes to GCNAX), with a trailing
+/// "Geomean" column.
+fn speedup_grid(
+    title: &str,
+    lineup: &[AccelModel],
+    cfg: &ExperimentConfig,
+    datasets: &[DatasetId],
+    network: NetworkConfig,
+    hw: &HwConfig,
+) -> Grid {
+    let mut cols = dataset_cols(datasets);
+    cols.push("Geomean".into());
+    let rows: Vec<String> = lineup.iter().map(|m| m.name.to_string()).collect();
+    let mut grid = Grid::new(title, cols, rows);
+    let mut geo: Vec<GeoMean> = vec![GeoMean::new(); lineup.len()];
+    for &id in datasets {
+        let wl = Workload::build(id, cfg.scale, network, cfg.seed);
+        let baseline = lineup[0].simulate(&wl, hw);
+        for (mi, m) in lineup.iter().enumerate() {
+            let r = if mi == 0 { baseline.clone() } else { m.simulate(&wl, hw) };
+            let s = r.speedup_over(&baseline);
+            grid.set(m.name, id.abbrev(), s);
+            geo[mi].push(s);
+        }
+    }
+    for (mi, m) in lineup.iter().enumerate() {
+        grid.set(m.name, "Geomean", geo[mi].value());
+    }
+    grid
+}
+
+/// Fig. 11: performance of all six accelerators, normalized to GCNAX.
+pub fn fig11_performance(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> Grid {
+    speedup_grid(
+        "Fig 11: speedup over GCNAX",
+        &AccelModel::fig11_lineup(),
+        cfg,
+        datasets,
+        cfg.network(),
+        &cfg.hw(),
+    )
+}
+
+/// Fig. 12: ablation — baseline, non-sliced BEICSR, sliced BEICSR,
+/// BEICSR + SAC.
+pub fn fig12_ablation(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> Grid {
+    let mut baseline = AccelModel::gcnax();
+    baseline.name = "Baseline";
+    let mut full = AccelModel::sgcn();
+    full.name = "BEICSR+SAC";
+    let mut no_sac = AccelModel::sgcn_no_sac();
+    no_sac.name = "BEICSR";
+    speedup_grid(
+        "Fig 12: ablation (speedup over baseline)",
+        &[baseline, AccelModel::sgcn_non_sliced(), no_sac, full],
+        cfg,
+        datasets,
+        cfg.network(),
+        &cfg.hw(),
+    )
+}
+
+/// Fig. 13: energy breakdown (compute / cache / DRAM / static) normalized
+/// to GCNAX's total per dataset, plus a TDP column (watts).
+pub fn fig13_energy(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> Grid {
+    let hw = cfg.hw();
+    let lineup = [
+        AccelModel::gcnax(),
+        AccelModel::hygcn(),
+        AccelModel::awb_gcn(),
+        AccelModel::sgcn(),
+    ];
+    let mut cols = dataset_cols(datasets);
+    cols.push("TDP(W)".into());
+    let mut rows = Vec::new();
+    for m in &lineup {
+        for part in ["compute", "cache", "dram", "total"] {
+            rows.push(format!("{}/{part}", m.name));
+        }
+    }
+    let mut grid = Grid::new("Fig 13: energy normalized to GCNAX total", cols, rows);
+    for &id in datasets {
+        let wl = cfg.workload(id, cfg.network());
+        let base_total = AccelModel::gcnax().simulate(&wl, &hw).energy.total_pj();
+        for m in &lineup {
+            let r = m.simulate(&wl, &hw);
+            grid.set(&format!("{}/compute", m.name), id.abbrev(), r.energy.compute_pj / base_total);
+            grid.set(&format!("{}/cache", m.name), id.abbrev(), r.energy.cache_pj / base_total);
+            grid.set(&format!("{}/dram", m.name), id.abbrev(), r.energy.dram_pj / base_total);
+            grid.set(
+                &format!("{}/total", m.name),
+                id.abbrev(),
+                r.energy.total_pj() / base_total,
+            );
+        }
+    }
+    for m in &lineup {
+        // TDP does not depend on the dataset; reuse the smallest workload.
+        let wl = cfg.workload(datasets[0], cfg.network());
+        let r = m.simulate(&wl, &hw);
+        grid.set(&format!("{}/total", m.name), "TDP(W)", r.tdp_watts);
+    }
+    grid
+}
+
+/// Fig. 14: off-chip access breakdown (topology / feature-in / feature-out
+/// / partials) on one dataset, normalized to GCNAX's total.
+pub fn fig14_memory_breakdown(cfg: &ExperimentConfig, id: DatasetId) -> Grid {
+    let hw = cfg.hw();
+    let lineup = AccelModel::fig11_lineup();
+    let cols: Vec<String> = vec![
+        "topology".into(),
+        "feature-in".into(),
+        "feature-out".into(),
+        "partials".into(),
+        "total".into(),
+    ];
+    let rows: Vec<String> = lineup.iter().map(|m| m.name.to_string()).collect();
+    let mut grid = Grid::new(
+        format!("Fig 14: memory access breakdown on {} (normalized to GCNAX)", id.abbrev()),
+        cols,
+        rows,
+    );
+    let wl = cfg.workload(id, cfg.network());
+    let base = lineup[0].simulate(&wl, &hw).dram_bytes() as f64;
+    for m in &lineup {
+        let r = m.simulate(&wl, &hw);
+        grid.set(m.name, "topology", r.dram_bytes_for(Traffic::Topology) as f64 / base);
+        grid.set(m.name, "feature-in", r.dram_bytes_for(Traffic::FeatureRead) as f64 / base);
+        grid.set(m.name, "feature-out", r.dram_bytes_for(Traffic::FeatureWrite) as f64 / base);
+        grid.set(m.name, "partials", r.dram_bytes_for(Traffic::PartialSum) as f64 / base);
+        grid.set(m.name, "total", r.dram_bytes() as f64 / base);
+    }
+    grid
+}
+
+/// Fig. 15a: geomean speedup (vs GCNAX) across CR/CS/PM as depth varies.
+pub fn fig15a_layer_sensitivity(cfg: &ExperimentConfig, depths: &[usize]) -> Grid {
+    let datasets = [DatasetId::Cora, DatasetId::CiteSeer, DatasetId::PubMed];
+    let lineup = AccelModel::fig11_lineup();
+    let cols: Vec<String> = depths.iter().map(|d| format!("L{d}")).collect();
+    let rows: Vec<String> = lineup.iter().map(|m| m.name.to_string()).collect();
+    let mut grid = Grid::new("Fig 15a: geomean speedup vs depth", cols, rows);
+    let hw = cfg.hw();
+    for &depth in depths {
+        let network = NetworkConfig::deep_residual(depth, cfg.width);
+        let sub = speedup_grid("", &lineup, cfg, &datasets, network, &hw);
+        for m in &lineup {
+            grid.set(m.name, &format!("L{depth}"), sub.get(m.name, "Geomean"));
+        }
+    }
+    grid
+}
+
+/// Fig. 15b: geomean speedup (vs GCNAX at the same cache size) as the
+/// global cache scales.
+pub fn fig15b_cache_sensitivity(cfg: &ExperimentConfig, cache_kib: &[u64], datasets: &[DatasetId]) -> Grid {
+    let lineup = AccelModel::fig11_lineup();
+    let cols: Vec<String> = cache_kib.iter().map(|k| format!("{k}K")).collect();
+    let rows: Vec<String> = lineup.iter().map(|m| m.name.to_string()).collect();
+    let mut grid = Grid::new("Fig 15b: geomean speedup vs cache size", cols, rows);
+    for &kib in cache_kib {
+        let hw = HwConfig::default().with_cache_kib(kib);
+        let sub = speedup_grid("", &lineup, cfg, datasets, cfg.network(), &hw);
+        for m in &lineup {
+            grid.set(m.name, &format!("{kib}K"), sub.get(m.name, "Geomean"));
+        }
+    }
+    grid
+}
+
+/// Fig. 16: performance on GINConv / GraphSAGE variants.
+pub fn fig16_variants(cfg: &ExperimentConfig, datasets: &[DatasetId], variant: GcnVariant) -> Grid {
+    speedup_grid(
+        &format!("Fig 16: speedup over GCNAX ({})", variant.label()),
+        &AccelModel::fig11_lineup(),
+        cfg,
+        datasets,
+        cfg.network().with_variant(variant),
+        &cfg.hw(),
+    )
+}
+
+/// Fig. 17: SGCN off-chip access sensitivity to the unit slice size,
+/// normalized per dataset to `C = 96`.
+pub fn fig17_slice_sensitivity(cfg: &ExperimentConfig, slices: &[usize], datasets: &[DatasetId]) -> Grid {
+    let hw = cfg.hw();
+    let cols = dataset_cols(datasets);
+    let rows: Vec<String> = slices.iter().map(|c| format!("Slice {c}")).collect();
+    let mut grid = Grid::new("Fig 17: off-chip access vs slice size (C=96 = 1.0)", cols, rows);
+    for &id in datasets {
+        let wl = cfg.workload(id, cfg.network());
+        let base = AccelModel::sgcn_with_slice(96).simulate(&wl, &hw).dram_bytes() as f64;
+        for &c in slices {
+            let r = AccelModel::sgcn_with_slice(c).simulate(&wl, &hw);
+            grid.set(&format!("Slice {c}"), id.abbrev(), r.dram_bytes() as f64 / base);
+        }
+    }
+    grid
+}
+
+/// Fig. 18: SGCN scalability with engine count on HBM1/HBM2 — speedup over
+/// the 1-engine HBM2 point plus bandwidth utilization (%).
+pub fn fig18_scalability(cfg: &ExperimentConfig, engines: &[usize], id: DatasetId) -> Grid {
+    let cols: Vec<String> = engines.iter().map(|e| format!("E{e}")).collect();
+    let rows = vec![
+        "HBM2 speedup".to_string(),
+        "HBM1 speedup".to_string(),
+        "HBM2 util%".to_string(),
+        "HBM1 util%".to_string(),
+    ];
+    let mut grid = Grid::new("Fig 18: SGCN scalability (vs 1 engine on HBM2)", cols, rows);
+    let wl = cfg.workload(id, cfg.network());
+    let base = AccelModel::sgcn()
+        .simulate(&wl, &cfg.hw().with_engines(1))
+        .cycles as f64;
+    for &e in engines {
+        for (gen, label_s, label_u) in [
+            (HbmGeneration::Hbm2, "HBM2 speedup", "HBM2 util%"),
+            (HbmGeneration::Hbm1, "HBM1 speedup", "HBM1 util%"),
+        ] {
+            let hw = cfg.hw().with_engines(e).with_hbm(gen);
+            let r = AccelModel::sgcn().simulate(&wl, &hw);
+            grid.set(label_s, &format!("E{e}"), base / r.cycles as f64);
+            grid.set(
+                label_u,
+                &format!("E{e}"),
+                100.0 * r.mem.dram.total_bytes() as f64
+                    / (hw.dram.peak_bytes_per_cycle * r.cycles as f64),
+            );
+        }
+    }
+    grid
+}
+
+/// Fig. 19: speedup vs uniform synthetic feature sparsity, for Dense,
+/// CSR and SGCN (normalized to Dense at each sparsity level).
+pub fn fig19_sparsity_sweep(cfg: &ExperimentConfig, sparsities_pct: &[u32], id: DatasetId) -> Grid {
+    let hw = cfg.hw();
+    let cols: Vec<String> = sparsities_pct.iter().map(|s| format!("{s}%")).collect();
+    let rows = vec!["Dense".to_string(), "CSR".to_string(), "SGCN".to_string()];
+    let mut grid = Grid::new("Fig 19: speedup vs feature sparsity (Dense = 1.0)", cols, rows);
+    for &pct in sparsities_pct {
+        let wl = Workload::build_with_uniform_sparsity(
+            id,
+            cfg.scale,
+            cfg.network(),
+            pct as f64 / 100.0,
+            cfg.seed,
+        );
+        let dense = run_format_study(FormatKind::Dense, &wl, &hw);
+        let csr = run_format_study(FormatKind::Csr, &wl, &hw);
+        let sgcn = AccelModel::sgcn().simulate(&wl, &hw);
+        grid.set("Dense", &format!("{pct}%"), 1.0);
+        grid.set("CSR", &format!("{pct}%"), csr.speedup_over(&dense));
+        grid.set("SGCN", &format!("{pct}%"), sgcn.speedup_over(&dense));
+    }
+    grid
+}
+
+/// Table II: the dataset catalog (full-scale stats and synthesized scale).
+pub fn table02_datasets(cfg: &ExperimentConfig) -> Grid {
+    let cols = vec![
+        "Vertices".to_string(),
+        "Edges".to_string(),
+        "InFeats".to_string(),
+        "FeatSpars%".to_string(),
+        "SynthV".to_string(),
+        "SynthE".to_string(),
+        "Scale".to_string(),
+    ];
+    let rows: Vec<String> = DatasetId::ALL.iter().map(|d| d.abbrev().to_string()).collect();
+    let mut grid = Grid::new("Table II: dataset catalog (full-scale vs synthesized)", cols, rows);
+    for id in DatasetId::ALL {
+        let spec = id.spec();
+        let ds = sgcn_graph::datasets::Dataset::synthesize(
+            id,
+            cfg.scale,
+            sgcn_graph::builder::Normalization::Symmetric,
+        );
+        grid.set(id.abbrev(), "Vertices", spec.vertices as f64);
+        grid.set(id.abbrev(), "Edges", spec.edges as f64);
+        grid.set(id.abbrev(), "InFeats", spec.input_features as f64);
+        grid.set(id.abbrev(), "FeatSpars%", spec.feature_sparsity * 100.0);
+        grid.set(id.abbrev(), "SynthV", ds.graph.num_vertices() as f64);
+        grid.set(id.abbrev(), "SynthE", ds.graph.num_edges() as f64);
+        grid.set(id.abbrev(), "Scale", ds.vertex_scale);
+    }
+    grid
+}
+
+/// Convenience: simulate the full Fig. 11 lineup on one workload.
+pub fn lineup_reports(wl: &Workload, hw: &HwConfig) -> Vec<SimReport> {
+    AccelModel::fig11_lineup().iter().map(|m| m.simulate(wl, hw)).collect()
+}
+
+/// Design ablation (DESIGN.md): BEICSR's two structural choices measured
+/// in isolation — embedded-in-place (the paper's format) vs a separate
+/// bitmap-index array vs packed variable-length rows. Returns DRAM bytes
+/// normalized to the embedded-in-place variant (lower = better).
+pub fn ablation_beicsr_design(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> Grid {
+    let hw = cfg.hw();
+    let variants = [
+        FormatKind::BeicsrNonSliced, // embedded + in place (non-sliced base)
+        FormatKind::SeparateBitmap,  // − embedded
+        FormatKind::PackedBeicsr,    // − in place
+    ];
+    let rows: Vec<String> = variants.iter().map(|v| v.label().to_string()).collect();
+    let mut grid = Grid::new(
+        "Ablation: BEICSR design choices (DRAM bytes vs embedded in-place)",
+        dataset_cols(datasets),
+        rows,
+    );
+    for &id in datasets {
+        let wl = cfg.workload(id, cfg.network());
+        let base = run_format_study(FormatKind::BeicsrNonSliced, &wl, &hw).dram_bytes() as f64;
+        for &v in &variants {
+            let r = run_format_study(v, &wl, &hw);
+            grid.set(v.label(), id.abbrev(), r.dram_bytes() as f64 / base);
+        }
+    }
+    grid
+}
+
+/// Design ablation (DESIGN.md): SAC strip-height sweep around the paper's
+/// default of 32, speedups vs GCNAX.
+pub fn ablation_sac_strip(cfg: &ExperimentConfig, strips: &[usize], datasets: &[DatasetId]) -> Grid {
+    let hw = cfg.hw();
+    let rows: Vec<String> = strips.iter().map(|s| format!("strip {s}")).collect();
+    let mut cols = dataset_cols(datasets);
+    cols.push("Geomean".into());
+    let mut grid = Grid::new("Ablation: SAC strip height (speedup over GCNAX)", cols, rows);
+    let mut geo: Vec<GeoMean> = vec![GeoMean::new(); strips.len()];
+    for &id in datasets {
+        let wl = cfg.workload(id, cfg.network());
+        let base = AccelModel::gcnax().simulate(&wl, &hw);
+        for (si, &strip) in strips.iter().enumerate() {
+            let mut m = AccelModel::sgcn();
+            m.strip_height = strip;
+            let r = m.simulate(&wl, &hw);
+            let s = r.speedup_over(&base);
+            grid.set(&format!("strip {strip}"), id.abbrev(), s);
+            geo[si].push(s);
+        }
+    }
+    for (si, &strip) in strips.iter().enumerate() {
+        grid.set(&format!("strip {strip}"), "Geomean", geo[si].value());
+    }
+    grid
+}
+
+/// Design ablation: cache replacement policy (LRU per Table III vs FIFO
+/// vs thrash-resistant BIP) for the baseline and SGCN.
+pub fn ablation_cache_policy(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> Grid {
+    use sgcn_mem::ReplacementPolicy;
+    let policies = [
+        ("LRU", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("BIP", ReplacementPolicy::Bip),
+    ];
+    let mut rows = Vec::new();
+    for m in ["GCNAX", "SGCN"] {
+        for (p, _) in &policies {
+            rows.push(format!("{m}/{p}"));
+        }
+    }
+    let mut grid = Grid::new(
+        "Ablation: cache replacement policy (cycles normalized to GCNAX/LRU)",
+        dataset_cols(datasets),
+        rows,
+    );
+    for &id in datasets {
+        let wl = cfg.workload(id, cfg.network());
+        let base = AccelModel::gcnax()
+            .simulate(&wl, &cfg.hw().with_cache_policy(ReplacementPolicy::Lru))
+            .cycles as f64;
+        for (mname, model) in [("GCNAX", AccelModel::gcnax()), ("SGCN", AccelModel::sgcn())] {
+            for (pname, policy) in policies {
+                let r = model.simulate(&wl, &cfg.hw().with_cache_policy(policy));
+                grid.set(&format!("{mname}/{pname}"), id.abbrev(), r.cycles as f64 / base);
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: [DatasetId; 2] = [DatasetId::Cora, DatasetId::PubMed];
+
+    #[test]
+    fn fig01_modern_above_traditional() {
+        let g = fig01_sparsity_vs_layers(&ExperimentConfig::quick(), &[3, 10]);
+        for ds in ["CR", "CS", "PM"] {
+            for depth in ["L3", "L10"] {
+                assert!(
+                    g.get(&format!("{ds} modern"), depth)
+                        > g.get(&format!("{ds} traditional"), depth) + 15.0,
+                    "{ds} {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig02_band_is_40_to_80() {
+        let g = fig02_per_layer_sparsity(&ExperimentConfig::quick());
+        for row in &g.values {
+            for &v in row {
+                assert!((40.0..=80.0).contains(&v), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_sgcn_beats_baselines() {
+        let g = fig11_performance(&ExperimentConfig::quick(), &SMALL);
+        let sgcn = g.get("SGCN", "Geomean");
+        assert!(sgcn > 1.1, "SGCN geomean {sgcn}");
+        for other in ["GCNAX", "HyGCN", "AWB-GCN", "EnGN", "I-GCN"] {
+            assert!(sgcn > g.get(other, "Geomean"), "SGCN vs {other}");
+        }
+    }
+
+    #[test]
+    fn fig12_ablation_is_monotone() {
+        let g = fig12_ablation(&ExperimentConfig::quick(), &SMALL);
+        let base = g.get("Baseline", "Geomean");
+        let non_sliced = g.get("Non-sliced BEICSR", "Geomean");
+        let beicsr = g.get("BEICSR", "Geomean");
+        let sac = g.get("BEICSR+SAC", "Geomean");
+        assert!((base - 1.0).abs() < 1e-9);
+        assert!(non_sliced > base, "non-sliced {non_sliced}");
+        // At tiny test scale the sliced/non-sliced gap can be within noise;
+        // require the sliced variant not to regress materially (the full
+        // paper-scale ordering is exercised by the fig12 bench harness).
+        assert!(beicsr > non_sliced * 0.97, "beicsr {beicsr} vs non-sliced {non_sliced}");
+        assert!(sac >= beicsr * 0.95, "sac {sac} vs beicsr {beicsr}");
+        assert!(sac > base, "sac {sac} vs baseline");
+    }
+
+    #[test]
+    fn fig13_sgcn_saves_energy() {
+        let g = fig13_energy(&ExperimentConfig::quick(), &SMALL);
+        for ds in ["CR", "PM"] {
+            assert!((g.get("GCNAX/total", ds) - 1.0).abs() < 1e-9);
+            assert!(g.get("SGCN/total", ds) < 1.0, "{ds}");
+        }
+        let tdp = g.get("SGCN/total", "TDP(W)");
+        assert!(tdp > 5.0 && tdp < 8.0, "TDP {tdp}");
+        assert!(g.get("HyGCN/total", "TDP(W)") < tdp);
+    }
+
+    #[test]
+    fn fig19_crossover_shapes() {
+        let g = fig19_sparsity_sweep(&ExperimentConfig::quick(), &[10, 50, 90], DatasetId::Cora);
+        // CSR loses at low/mid sparsity, approaches or beats dense at 90%.
+        assert!(g.get("CSR", "10%") < 1.0);
+        assert!(g.get("CSR", "90%") > g.get("CSR", "10%"));
+        // SGCN wins from mid sparsity on.
+        assert!(g.get("SGCN", "50%") > 1.0);
+        assert!(g.get("SGCN", "90%") > 1.0);
+    }
+
+    #[test]
+    fn table02_has_all_datasets() {
+        let g = table02_datasets(&ExperimentConfig::quick());
+        assert_eq!(g.rows.len(), 9);
+        assert_eq!(g.get("RD", "Vertices"), 232_965.0);
+        assert!(g.get("RD", "Scale") > 100.0);
+    }
+
+    #[test]
+    fn fig14_components_sum_to_total() {
+        let g = fig14_memory_breakdown(&ExperimentConfig::quick(), DatasetId::Cora);
+        for accel in ["GCNAX", "HyGCN", "AWB-GCN", "EnGN", "I-GCN", "SGCN"] {
+            let sum = g.get(accel, "topology")
+                + g.get(accel, "feature-in")
+                + g.get(accel, "feature-out")
+                + g.get(accel, "partials");
+            let total = g.get(accel, "total");
+            // Weights are the only class not plotted; their share can be
+            // sizable when the feature traffic is small (SGCN at quick
+            // scale).
+            assert!(sum <= total + 1e-9, "{accel}: {sum} vs {total}");
+            assert!(sum > total * 0.55, "{accel}: {sum} vs {total}");
+        }
+        // GCNAX is the normalization basis.
+        assert!((g.get("GCNAX", "total") - 1.0).abs() < 1e-9);
+        // SGCN's total is the smallest.
+        for other in ["GCNAX", "HyGCN", "AWB-GCN", "EnGN", "I-GCN"] {
+            assert!(g.get("SGCN", "total") < g.get(other, "total"), "{other}");
+        }
+    }
+
+    #[test]
+    fn fig15a_speedup_stable_across_depths() {
+        let g = fig15a_layer_sensitivity(&ExperimentConfig::quick(), &[3, 6]);
+        for depth in ["L3", "L6"] {
+            assert!((g.get("GCNAX", depth) - 1.0).abs() < 1e-9);
+            assert!(g.get("SGCN", depth) > 1.0, "{depth}");
+        }
+    }
+
+    #[test]
+    fn fig15b_sgcn_wins_across_cache_sizes() {
+        let g = fig15b_cache_sensitivity(&ExperimentConfig::quick(), &[8, 32], &SMALL);
+        for cache in ["8K", "32K"] {
+            assert!(g.get("SGCN", cache) > 1.0, "{cache}");
+        }
+    }
+
+    #[test]
+    fn fig16_variants_keep_sgcn_on_top() {
+        for variant in [
+            GcnVariant::GinConv { eps: 0.0 },
+            GcnVariant::GraphSage { sample: 4 },
+        ] {
+            let g = fig16_variants(&ExperimentConfig::quick(), &SMALL, variant);
+            assert!(
+                g.get("SGCN", "Geomean") > 1.05,
+                "{}: {}",
+                variant.label(),
+                g.get("SGCN", "Geomean")
+            );
+        }
+    }
+
+    #[test]
+    fn fig17_small_slices_cost_more() {
+        let g = fig17_slice_sensitivity(&ExperimentConfig::quick(), &[32, 96], &SMALL);
+        for ds in ["CR", "PM"] {
+            assert!((g.get("Slice 96", ds) - 1.0).abs() < 1e-9);
+            assert!(g.get("Slice 32", ds) > 1.1, "{ds}: {}", g.get("Slice 32", ds));
+        }
+    }
+
+    #[test]
+    fn fig18_more_engines_speed_up_to_saturation() {
+        let g = fig18_scalability(&ExperimentConfig::quick(), &[1, 4], DatasetId::Cora);
+        assert!((g.get("HBM2 speedup", "E1") - 1.0).abs() < 1e-9);
+        assert!(g.get("HBM2 speedup", "E4") > 1.5);
+        // HBM1 never beats HBM2 at the same engine count.
+        for e in ["E1", "E4"] {
+            assert!(g.get("HBM1 speedup", e) <= g.get("HBM2 speedup", e) + 1e-9, "{e}");
+        }
+        // Utilization is a valid percentage.
+        for row in ["HBM2 util%", "HBM1 util%"] {
+            for e in ["E1", "E4"] {
+                let u = g.get(row, e);
+                assert!((0.0..=100.0).contains(&u), "{row} {e}: {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig03_beicsr_cuts_traffic_everywhere() {
+        let (traffic, speedup) = fig03_format_comparison(&ExperimentConfig::quick(), &SMALL);
+        for ds in ["CR", "PM"] {
+            assert!((traffic.get("Dense", ds) - 1.0).abs() < 1e-9);
+            assert!(traffic.get("BEICSR", ds) < 0.8, "{ds}");
+            assert!(speedup.get("BEICSR", ds) > 1.0, "{ds}");
+            assert!(speedup.get("Blocked Ellpack", ds) < 0.7, "{ds}");
+        }
+    }
+
+    #[test]
+    fn ablation_beicsr_design_penalizes_variants() {
+        let g = ablation_beicsr_design(&ExperimentConfig::quick(), &SMALL);
+        for ds in ["CR", "PM"] {
+            assert!((g.get("Non-sliced BEICSR", ds) - 1.0).abs() < 1e-9);
+            // Geometric mean over the two datasets: the variants should
+            // not beat the paper's layout.
+            let sep = g.get("Separate-bitmap", ds);
+            let packed = g.get("Packed BEICSR", ds);
+            assert!(sep > 0.95, "{ds} separate {sep}");
+            assert!(packed > 0.95, "{ds} packed {packed}");
+        }
+    }
+
+    #[test]
+    fn ablation_sac_strip_covers_requested_heights() {
+        let g = ablation_sac_strip(&ExperimentConfig::quick(), &[16, 32], &SMALL);
+        assert!(g.get("strip 32", "Geomean") > 0.8);
+        assert!(g.get("strip 16", "Geomean") > 0.8);
+    }
+
+    #[test]
+    fn ablation_cache_policy_lru_is_reference() {
+        let g = ablation_cache_policy(&ExperimentConfig::quick(), &SMALL);
+        for ds in ["CR", "PM"] {
+            assert!((g.get("GCNAX/LRU", ds) - 1.0).abs() < 1e-9);
+            // SGCN faster than GCNAX under its Table III policy.
+            assert!(g.get("SGCN/LRU", ds) < 1.0, "{ds}");
+        }
+    }
+
+    #[test]
+    fn grid_display_renders() {
+        let mut g = Grid::new("t", vec!["a".into()], vec!["r".into()]);
+        g.set("r", "a", 1.5);
+        let s = g.to_string();
+        assert!(s.contains("1.500"));
+        assert!(s.contains("## t"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # SGCN — Exploiting Compressed-Sparse Features in Deep GCN Accelerators
+//!
+//! A full model of the SGCN accelerator (HPCA 2023) and the five baseline
+//! accelerators it is evaluated against, on a shared cache + HBM memory
+//! substrate. The three contributions of the paper map to:
+//!
+//! * **BEICSR** — [`sgcn_formats::Beicsr`] (bitmap-index embedded in-place
+//!   CSR feature format),
+//! * **Microarchitecture** — [`sgcn_engines`] (sparse aggregator, prefix
+//!   sum, post-combination compressor) driven by the simulator in
+//!   [`accel`],
+//! * **Sparsity-aware cooperation** — [`cooperation`] (interleaved-strip
+//!   engine scheduling producing nested reuse windows).
+//!
+//! [`experiments`] contains one driver per paper table/figure; the
+//! `sgcn-bench` crate's binaries print them.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sgcn::{accel::AccelModel, config::HwConfig, workload::Workload};
+//! use sgcn_graph::datasets::{DatasetId, SynthScale};
+//! use sgcn_model::NetworkConfig;
+//!
+//! let wl = Workload::build(
+//!     DatasetId::Cora,
+//!     SynthScale::tiny(),
+//!     NetworkConfig::deep_residual(4, 64),
+//!     7,
+//! );
+//! let hw = HwConfig::default();
+//! let sgcn = AccelModel::sgcn().simulate(&wl, &hw);
+//! let gcnax = AccelModel::gcnax().simulate(&wl, &hw);
+//! assert!(sgcn.dram_bytes() < gcnax.dram_bytes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod config;
+pub mod cooperation;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod workload;
+
+pub use accel::AccelModel;
+pub use config::HwConfig;
+pub use metrics::SimReport;
+pub use workload::Workload;

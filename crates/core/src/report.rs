@@ -1,0 +1,103 @@
+//! Result export: render [`Grid`]s as Markdown or CSV.
+//!
+//! The figure harnesses print plain tables; these renderers are for
+//! embedding results in documents (EXPERIMENTS.md-style) or feeding
+//! plotting scripts.
+
+use std::fmt::Write as _;
+
+use crate::experiments::Grid;
+
+/// Renders a grid as a GitHub-flavored Markdown table.
+pub fn to_markdown(grid: &Grid) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {}", grid.title);
+    let _ = write!(out, "| |");
+    for c in &grid.cols {
+        let _ = write!(out, " {c} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &grid.cols {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for (r, row) in grid.rows.iter().zip(&grid.values) {
+        let _ = write!(out, "| {r} |");
+        for v in row {
+            let _ = write!(out, " {v:.3} |");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a grid as CSV with a leading `row` column. Fields containing
+/// commas or quotes are quoted.
+pub fn to_csv(grid: &Grid) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "row");
+    for c in &grid.cols {
+        let _ = write!(out, ",{}", csv_escape(c));
+    }
+    let _ = writeln!(out);
+    for (r, row) in grid.rows.iter().zip(&grid.values) {
+        let _ = write!(out, "{}", csv_escape(r));
+        for v in row {
+            let _ = write!(out, ",{v}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Grid {
+        let mut g = Grid::new(
+            "sample",
+            vec!["A".into(), "B".into()],
+            vec!["x".into(), "y,z".into()],
+        );
+        g.set("x", "A", 1.0);
+        g.set("x", "B", 2.5);
+        g.set("y,z", "A", -0.125);
+        g
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = to_markdown(&sample());
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "### sample");
+        assert_eq!(lines[1], "| | A | B |");
+        assert_eq!(lines[2], "|---|---|---|");
+        assert!(lines[3].starts_with("| x | 1.000 | 2.500 |"));
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "row,A,B");
+        assert_eq!(lines[1], "x,1,2.5");
+        assert!(lines[2].starts_with("\"y,z\","));
+    }
+
+    #[test]
+    fn csv_quote_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a\"b"), "\"a\"\"b\"");
+    }
+}

@@ -1,0 +1,37 @@
+//! Compute-engine models for the SGCN reproduction.
+//!
+//! Functional + cycle models of the accelerator's datapath units (paper
+//! §III-B, §V-D, §V-E):
+//!
+//! * [`SystolicArray`] — the 32×32 output-stationary combination engine
+//!   (SCALE-Sim-class analytical cycle model),
+//! * [`SimdMacs`] — the 16-way SIMD MAC lanes of each aggregation engine,
+//! * [`PrefixSumUnit`] — the parallel prefix-sum unit that turns bitmap
+//!   indices into packed-value positions,
+//! * [`SparseAggregator`] — aggregation directly from BEICSR slices,
+//! * [`Compressor`] — the post-combination ReLU + in-place BEICSR writer,
+//! * [`two_stage_pipeline`] — aggregation ↔ combination phase overlap.
+//!
+//! Functional correctness is enforced by tests that compare every unit
+//! against a dense reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod compressor;
+pub mod datapath;
+pub mod pipeline;
+pub mod prefix_sum;
+pub mod simd;
+pub mod sparse_aggregator;
+pub mod systolic;
+
+pub use buffer::{BufferStats, StreamBuffer};
+pub use compressor::{CompressStats, Compressor};
+pub use datapath::{simulate_aggregation, DatapathConfig, DatapathProfile};
+pub use pipeline::two_stage_pipeline;
+pub use prefix_sum::PrefixSumUnit;
+pub use simd::SimdMacs;
+pub use sparse_aggregator::{AggregateCost, SparseAggregator};
+pub use systolic::{SystolicArray, SystolicConfig};

@@ -1,0 +1,63 @@
+//! Phase pipelining.
+//!
+//! The baseline architecture pipelines the aggregation and combination
+//! phases across tiles (§III-B: "others implement separate units and
+//! pipeline two phases", which the SGCN architecture follows). With two
+//! stages, tile *i*'s combination overlaps tile *i+1*'s aggregation; the
+//! classic two-stage pipeline latency is the first stage's fill time plus
+//! the per-step maxima.
+
+/// Latency of a two-stage pipeline over per-item `(stage0, stage1)` times.
+///
+/// Returns `stage0[0] + Σ max(stage0[i+1], stage1[i]) + stage1[last]`-style
+/// scheduling, computed exactly by simulating stage availability.
+pub fn two_stage_pipeline(items: &[(u64, u64)]) -> u64 {
+    let mut stage0_free = 0u64; // when the aggregation unit frees up
+    let mut stage1_free = 0u64; // when the combination unit frees up
+    for &(s0, s1) in items {
+        let s0_done = stage0_free + s0;
+        stage0_free = s0_done;
+        let s1_start = s0_done.max(stage1_free);
+        stage1_free = s1_start + s1;
+    }
+    stage0_free.max(stage1_free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(two_stage_pipeline(&[]), 0);
+    }
+
+    #[test]
+    fn single_item_is_sum() {
+        assert_eq!(two_stage_pipeline(&[(10, 5)]), 15);
+    }
+
+    #[test]
+    fn balanced_stages_overlap() {
+        // 4 items of (10, 10): 10 fill + 4*10 drain-side = 50, vs 80 serial.
+        assert_eq!(two_stage_pipeline(&[(10, 10); 4]), 50);
+    }
+
+    #[test]
+    fn bottleneck_stage_dominates() {
+        // Stage 1 is 3× slower: latency ≈ fill + 4×30.
+        assert_eq!(two_stage_pipeline(&[(10, 30); 4]), 10 + 4 * 30);
+        // Stage 0 slower: latency ≈ 4×30 + drain 10.
+        assert_eq!(two_stage_pipeline(&[(30, 10); 4]), 4 * 30 + 10);
+    }
+
+    #[test]
+    fn never_better_than_max_stage_sum() {
+        let items = [(7, 13), (29, 3), (11, 17)];
+        let total = two_stage_pipeline(&items);
+        let s0: u64 = items.iter().map(|i| i.0).sum();
+        let s1: u64 = items.iter().map(|i| i.1).sum();
+        assert!(total >= s0.max(s1));
+        assert!(total <= s0 + s1);
+    }
+}

@@ -1,0 +1,206 @@
+//! The [`FeatureFormat`] abstraction and format selection.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::layout::Span;
+
+/// A half-open column range `[start, end)` within a feature row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ColRange {
+    /// First column (inclusive).
+    pub start: usize,
+    /// Last column (exclusive).
+    pub end: usize,
+}
+
+impl ColRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "invalid column range {start}..{end}");
+        ColRange { start, end }
+    }
+
+    /// Full-width range for a matrix with `cols` columns.
+    pub fn full(cols: usize) -> Self {
+        ColRange { start: 0, end: cols }
+    }
+
+    /// Number of columns covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Clamps the range to `[0, cols)` and returns it as a std `Range`.
+    pub fn clamp_to(&self, cols: usize) -> Range<usize> {
+        self.start.min(cols)..self.end.min(cols)
+    }
+}
+
+impl fmt::Display for ColRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl From<Range<usize>> for ColRange {
+    fn from(r: Range<usize>) -> Self {
+        ColRange::new(r.start, r.end)
+    }
+}
+
+/// A feature-matrix storage format whose access costs the simulator can
+/// observe.
+///
+/// Implementations report the byte spans (in a private, zero-based address
+/// space) that the accelerator must transfer to read a row, read a column
+/// slice of a row, or write a row back. The memory simulator rebases those
+/// spans onto physical addresses and runs them through the cache and DRAM
+/// models, so a format's compression quality and alignment behaviour —
+/// the crux of the SGCN paper's §V-A — fall directly out of these methods.
+pub trait FeatureFormat {
+    /// Human-readable name used in reports ("Dense", "CSR", "BEICSR", …).
+    fn format_name(&self) -> &'static str;
+
+    /// Number of rows (vertices).
+    fn rows(&self) -> usize;
+
+    /// Number of columns (feature width).
+    fn cols(&self) -> usize;
+
+    /// Total reserved memory footprint in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Byte spans touched to read the whole of `row`.
+    fn row_spans(&self, row: usize) -> Vec<Span>;
+
+    /// Byte spans touched to read columns `range` of `row`.
+    fn slice_spans(&self, row: usize, range: ColRange) -> Vec<Span>;
+
+    /// Byte spans touched to write `row` back (in its current occupancy).
+    fn write_spans(&self, row: usize) -> Vec<Span>;
+
+    /// Reconstructs the dense contents of `row` (round-trip check and
+    /// functional reads).
+    fn decode_row(&self, row: usize) -> Vec<f32>;
+
+    /// Cacheline-rounded bytes to read the whole of `row` — convenience
+    /// accounting used by analytic traffic reports.
+    fn row_read_bytes(&self, row: usize) -> u64 {
+        self.row_spans(row).iter().map(Span::cacheline_bytes).sum()
+    }
+
+    /// Cacheline-rounded bytes to read `range` of `row`.
+    fn slice_read_bytes(&self, row: usize, range: ColRange) -> u64 {
+        self.slice_spans(row, range).iter().map(Span::cacheline_bytes).sum()
+    }
+
+    /// Cacheline-rounded bytes to write `row`.
+    fn row_write_bytes(&self, row: usize) -> u64 {
+        self.write_spans(row).iter().map(Span::cacheline_bytes).sum()
+    }
+}
+
+/// Identifies one of the formats compared in the paper's Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// Uncompressed dense rows.
+    Dense,
+    /// Compressed sparse row with 32-bit column indices.
+    Csr,
+    /// Coordinate triples.
+    Coo,
+    /// Block CSR with 2×2 blocks.
+    Bsr,
+    /// Blocked ELLPACK with 2×2 blocks.
+    BlockedEllpack,
+    /// BEICSR without feature-matrix slicing (§V-A).
+    BeicsrNonSliced,
+    /// Sliced BEICSR (§V-B), the full SGCN format.
+    Beicsr,
+    /// Design ablation: bitmap index in a separate array (not in Fig. 3;
+    /// see [`crate::ablation::SeparateBitmapCsr`]).
+    SeparateBitmap,
+    /// Design ablation: packed variable-length rows with indirection (not
+    /// in Fig. 3; see [`crate::ablation::PackedBeicsr`]).
+    PackedBeicsr,
+}
+
+impl FormatKind {
+    /// All kinds, in the order the paper's Fig. 3 presents them.
+    pub const ALL: [FormatKind; 7] = [
+        FormatKind::Dense,
+        FormatKind::Csr,
+        FormatKind::Coo,
+        FormatKind::Bsr,
+        FormatKind::BlockedEllpack,
+        FormatKind::BeicsrNonSliced,
+        FormatKind::Beicsr,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FormatKind::Dense => "Dense",
+            FormatKind::Csr => "CSR",
+            FormatKind::Coo => "COO",
+            FormatKind::Bsr => "BSR",
+            FormatKind::BlockedEllpack => "Blocked Ellpack",
+            FormatKind::BeicsrNonSliced => "Non-sliced BEICSR",
+            FormatKind::Beicsr => "BEICSR",
+            FormatKind::SeparateBitmap => "Separate-bitmap",
+            FormatKind::PackedBeicsr => "Packed BEICSR",
+        }
+    }
+}
+
+impl fmt::Display for FormatKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_range_basics() {
+        let r = ColRange::new(4, 12);
+        assert_eq!(r.len(), 8);
+        assert!(!r.is_empty());
+        assert_eq!(r.clamp_to(10), 4..10);
+        assert_eq!(ColRange::full(96), ColRange::new(0, 96));
+        assert_eq!(r.to_string(), "4..12");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid column range")]
+    fn col_range_reversed_panics() {
+        let _ = ColRange::new(5, 4);
+    }
+
+    #[test]
+    fn format_kind_labels_unique() {
+        let labels: Vec<&str> = FormatKind::ALL.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn col_range_from_std_range() {
+        let r: ColRange = (3..7).into();
+        assert_eq!(r, ColRange::new(3, 7));
+    }
+}

@@ -1,0 +1,178 @@
+//! Edge-list I/O.
+//!
+//! The synthetic catalog stands in for datasets we cannot ship, but a
+//! downstream user with the real files (SNAP/Planetoid edge lists) can
+//! load them here: whitespace-separated `src dst` pairs, `#`-prefixed
+//! comments, blank lines ignored.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::builder::{GraphBuilder, Normalization};
+use crate::csr::CsrGraph;
+
+/// Errors returned by the edge-list parser.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseGraphError {
+    /// A line did not contain two integers.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A vertex ID was outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending ID.
+        id: usize,
+    },
+    /// An underlying I/O error (message only, to keep the type `Eq`).
+    Io(String),
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::Malformed { line } => {
+                write!(f, "malformed edge at line {line}: expected `src dst`")
+            }
+            ParseGraphError::VertexOutOfRange { line, id } => {
+                write!(f, "vertex id {id} out of range at line {line}")
+            }
+            ParseGraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+impl From<std::io::Error> for ParseGraphError {
+    fn from(e: std::io::Error) -> Self {
+        ParseGraphError::Io(e.to_string())
+    }
+}
+
+/// Reads an undirected edge list into a normalized [`CsrGraph`].
+///
+/// `num_vertices` fixes the vertex-ID space (IDs must be `< num_vertices`).
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines, out-of-range IDs, or
+/// I/O failures.
+///
+/// # Example
+///
+/// ```
+/// use sgcn_graph::io::read_edge_list;
+/// use sgcn_graph::Normalization;
+///
+/// let text = "# a triangle\n0 1\n1 2\n2 0\n";
+/// let g = read_edge_list(text.as_bytes(), 3, Normalization::Unit)?;
+/// assert_eq!(g.num_edges(), 6);
+/// # Ok::<(), sgcn_graph::io::ParseGraphError>(())
+/// ```
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    num_vertices: usize,
+    norm: Normalization,
+) -> Result<CsrGraph, ParseGraphError> {
+    let mut builder = GraphBuilder::new(num_vertices);
+    let mut edges = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(ParseGraphError::Malformed { line: line_no }),
+        };
+        let a: usize = a.parse().map_err(|_| ParseGraphError::Malformed { line: line_no })?;
+        let b: usize = b.parse().map_err(|_| ParseGraphError::Malformed { line: line_no })?;
+        for id in [a, b] {
+            if id >= num_vertices {
+                return Err(ParseGraphError::VertexOutOfRange { line: line_no, id });
+            }
+        }
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    builder = builder.undirected_edges(edges);
+    Ok(builder.build(norm))
+}
+
+/// Writes the graph's directed edges as `dst src` lines (weights are not
+/// serialized; they are recomputed by the normalization on load).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# {} vertices, {} directed edges", graph.num_vertices(), graph.num_edges())?;
+    for (dst, src, _) in graph.iter_edges() {
+        writeln!(writer, "{dst} {src}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_triangle_with_comments() {
+        let text = "# comment\n\n0 1\n1 2\n0 2\n";
+        let g = read_edge_list(text.as_bytes(), 3, Normalization::Unit).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn malformed_line_errors_with_position() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes(), 3, Normalization::Unit).unwrap_err();
+        assert_eq!(err, ParseGraphError::Malformed { line: 2 });
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn out_of_range_vertex_errors() {
+        let text = "0 9\n";
+        let err = read_edge_list(text.as_bytes(), 3, Normalization::Unit).unwrap_err();
+        assert_eq!(err, ParseGraphError::VertexOutOfRange { line: 1, id: 9 });
+    }
+
+    #[test]
+    fn single_token_line_is_malformed() {
+        let err = read_edge_list("5\n".as_bytes(), 8, Normalization::Unit).unwrap_err();
+        assert_eq!(err, ParseGraphError::Malformed { line: 1 });
+    }
+
+    #[test]
+    fn self_loops_dropped_on_parse() {
+        let g = read_edge_list("1 1\n0 1\n".as_bytes(), 2, Normalization::Unit).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let text = "0 1\n1 2\n2 3\n0 3\n";
+        let g = read_edge_list(text.as_bytes(), 4, Normalization::Symmetric).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), 4, Normalization::Symmetric).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn extra_columns_tolerated() {
+        // SNAP files sometimes carry weights/timestamps in later columns.
+        let g = read_edge_list("0 1 0.5 12345\n".as_bytes(), 2, Normalization::Unit).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Graph traversal utilities: BFS levels and connected components.
+//!
+//! Used by the islandization analysis (I-GCN's islands are BFS regions)
+//! and by workload sanity checks (a synthesized dataset should be mostly
+//! one component, like the real graphs).
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+
+/// BFS distances from `source`; unreachable vertices get `u32::MAX`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(graph: &CsrGraph, source: usize) -> Vec<u32> {
+    assert!(source < graph.num_vertices(), "source out of range");
+    let mut dist = vec![u32::MAX; graph.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source as u32);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &next in graph.neighbors(v as usize) {
+            if dist[next as usize] == u32::MAX {
+                dist[next as usize] = d + 1;
+                queue.push_back(next);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels (0-based, in discovery order) and the
+/// component count.
+pub fn connected_components(graph: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = graph.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut components = 0u32;
+    let mut queue = VecDeque::new();
+    for seed in 0..n {
+        if label[seed] != u32::MAX {
+            continue;
+        }
+        label[seed] = components;
+        queue.push_back(seed as u32);
+        while let Some(v) = queue.pop_front() {
+            for &next in graph.neighbors(v as usize) {
+                if label[next as usize] == u32::MAX {
+                    label[next as usize] = components;
+                    queue.push_back(next);
+                }
+            }
+        }
+        components += 1;
+    }
+    (label, components as usize)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(graph: &CsrGraph) -> usize {
+    let (labels, count) = connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// An eccentricity-based diameter estimate: the farthest distance found
+/// by a double-sweep BFS from `seed` (exact on trees, a lower bound in
+/// general).
+pub fn diameter_estimate(graph: &CsrGraph, seed: usize) -> u32 {
+    if graph.num_vertices() == 0 {
+        return 0;
+    }
+    let first = bfs_distances(graph, seed.min(graph.num_vertices() - 1));
+    let (far, d1) = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, &d)| (i, d))
+        .unwrap_or((0, 0));
+    let second = bfs_distances(graph, far);
+    second
+        .iter()
+        .filter(|&&d| d != u32::MAX)
+        .copied()
+        .max()
+        .unwrap_or(d1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, Normalization};
+
+    fn path(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b = b.undirected_edge(v, v + 1);
+        }
+        b.build(Normalization::Unit)
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d2 = bfs_distances(&g, 2);
+        assert_eq!(d2, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = GraphBuilder::new(6)
+            .undirected_edges([(0, 1), (1, 2), (4, 5)])
+            .build(Normalization::Unit);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3}, {4,5}
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn unreachable_distance_is_max() {
+        let g = GraphBuilder::new(3).undirected_edge(0, 1).build(Normalization::Unit);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn diameter_of_path_is_exact() {
+        let g = path(7);
+        assert_eq!(diameter_estimate(&g, 3), 6);
+    }
+
+    #[test]
+    fn synthesized_datasets_are_mostly_connected() {
+        use crate::datasets::{Dataset, DatasetId, SynthScale};
+        let ds = Dataset::synthesize(DatasetId::PubMed, SynthScale::tiny(), Normalization::Unit);
+        let n = ds.graph.num_vertices();
+        assert!(
+            largest_component_size(&ds.graph) > n * 8 / 10,
+            "giant component should dominate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bfs_bad_source_panics() {
+        let g = path(3);
+        let _ = bfs_distances(&g, 9);
+    }
+}

@@ -1,0 +1,367 @@
+//! Set-associative global cache.
+//!
+//! Models the accelerator's on-chip global cache (Table III: 512 KB,
+//! 16-way, LRU, 64 B lines) "resembling a last-level cache in modern CPUs"
+//! (§III-B). Accesses are line-granular; the [`crate::MemorySystem`] breaks
+//! byte spans into lines before probing.
+
+/// Replacement policy for the global cache.
+///
+/// Table III specifies LRU; the alternatives exist for the replacement
+/// ablation (`ablation_cache_policy` in `sgcn-bench`) — the paper's §V-C
+/// motivates SAC precisely by LRU's thrashing pattern on oversized
+/// working sets, the problem BIP-style insertion policies attack
+/// (Qureshi et al., ISCA'07, the paper's reference \[61\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the paper's configuration).
+    #[default]
+    Lru,
+    /// First-in first-out: insertion order, no recency promotion.
+    Fifo,
+    /// Bimodal insertion: new lines insert at LRU position except one in
+    /// `1/32` inserted at MRU — thrash-resistant for cyclic working sets.
+    Bip,
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl Default for CacheConfig {
+    /// The paper's Table III cache: 512 KB, 16-way, 64 B lines, LRU.
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 512 * 1024,
+            ways: 16,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Convenience constructor with capacity in KiB.
+    pub fn with_capacity_kib(kib: u64) -> Self {
+        CacheConfig {
+            capacity_bytes: kib * 1024,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways/line, or capacity not
+    /// a multiple of `ways × line_bytes`).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0 && self.line_bytes > 0, "degenerate cache geometry");
+        let set_bytes = self.ways as u64 * self.line_bytes;
+        assert!(
+            self.capacity_bytes % set_bytes == 0 && self.capacity_bytes > 0,
+            "capacity {} not a multiple of way×line {}",
+            self.capacity_bytes,
+            set_bytes
+        );
+        (self.capacity_bytes / set_bytes) as usize
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Line accesses that hit.
+    pub hits: u64,
+    /// Line accesses that missed.
+    pub misses: u64,
+    /// Evictions of valid lines.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total line accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache over 64 B (configurable) lines with a
+/// selectable replacement policy (LRU by default).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    /// Per set: line tags in recency order, index 0 = MRU.
+    lines: Vec<Vec<u64>>,
+    stats: CacheStats,
+    /// Deterministic counter driving BIP's bimodal insertion.
+    bip_counter: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (see [`CacheConfig::sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets,
+            lines: vec![Vec::with_capacity(config.ways); sets],
+            stats: CacheStats::default(),
+            bip_counter: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Probes the line containing `addr`; fills on miss, evicting per the
+    /// configured policy. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        let policy = self.config.policy;
+        let ways = &mut self.lines[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // FIFO does not promote on hit; LRU and BIP do.
+            if !matches!(policy, ReplacementPolicy::Fifo) {
+                let tag = ways.remove(pos);
+                ways.insert(0, tag);
+            }
+            self.stats.hits += 1;
+            true
+        } else {
+            if ways.len() == self.config.ways {
+                ways.pop();
+                self.stats.evictions += 1;
+            }
+            let at_mru = match policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => true,
+                ReplacementPolicy::Bip => {
+                    self.bip_counter = self.bip_counter.wrapping_add(1);
+                    self.bip_counter % 32 == 0
+                }
+            };
+            if at_mru {
+                ways.insert(0, line);
+            } else {
+                ways.push(line);
+            }
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidates the line containing `addr` if present (used by streaming
+    /// writes that bypass the cache, so later reads see fresh data).
+    /// Returns `true` if a line was dropped.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        let ways = &mut self.lines[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            ways.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates all lines, keeping the statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.lines {
+            set.clear();
+        }
+    }
+
+    /// Resets the statistics, keeping cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Lru,
+        })
+    }
+
+    #[test]
+    fn default_matches_table3() {
+        let c = CacheConfig::default();
+        assert_eq!(c.capacity_bytes, 512 * 1024);
+        assert_eq!(c.ways, 16);
+        assert_eq!(c.sets(), 512);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with line_idx % 4 == 0: addresses 0, 256, 512.
+        c.access(0);
+        c.access(256);
+        c.access(0); // 0 is MRU, 256 LRU
+        c.access(512); // evicts 256
+        assert!(c.access(0), "0 should survive");
+        assert!(!c.access(256), "256 was evicted");
+        assert_eq!(c.stats().evictions, 2); // 256 evicted, then 0 or 512
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits() {
+        let mut c = tiny();
+        let lines: Vec<u64> = (0..8).map(|i| i * 64).collect(); // exactly capacity
+        for &a in &lines {
+            c.access(a);
+        }
+        for &a in &lines {
+            assert!(c.access(a), "line {a} should hit");
+        }
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn thrashing_working_set_misses() {
+        let mut c = tiny();
+        // 16 distinct lines in a 8-line cache, cycled twice: all misses.
+        for _ in 0..2 {
+            for i in 0..16u64 {
+                c.access(i * 64);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 32);
+    }
+
+    #[test]
+    fn flush_clears_contents_not_stats() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0));
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            capacity_bytes: 1000,
+            ways: 3,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Lru,
+        });
+    }
+
+    fn with_policy(policy: ReplacementPolicy) -> Cache {
+        Cache::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            policy,
+        })
+    }
+
+    #[test]
+    fn fifo_does_not_promote_on_hit() {
+        let mut c = with_policy(ReplacementPolicy::Fifo);
+        // Set 0: lines 0, 256. Hit 0, then insert 512: FIFO evicts 0 (the
+        // oldest insertion) even though it was just touched.
+        c.access(0);
+        c.access(256);
+        assert!(c.access(0));
+        c.access(512);
+        assert!(!c.access(0), "FIFO evicted the oldest-inserted line");
+        // LRU, by contrast, keeps the recently touched line.
+        let mut l = with_policy(ReplacementPolicy::Lru);
+        l.access(0);
+        l.access(256);
+        assert!(l.access(0));
+        l.access(512);
+        assert!(l.access(0), "LRU kept the recently used line");
+    }
+
+    #[test]
+    fn bip_resists_cyclic_thrash() {
+        // Cyclic working set slightly over capacity: LRU gets zero hits,
+        // BIP retains a fraction of the set.
+        let lines: Vec<u64> = (0..12u64).map(|i| i * 64 * 4).collect(); // all map set 0? no: stride 256 → sets cycle
+        let run = |policy| {
+            let mut c = with_policy(policy);
+            for _ in 0..50 {
+                for &a in &lines {
+                    c.access(a);
+                }
+            }
+            c.stats().hits
+        };
+        let lru_hits = run(ReplacementPolicy::Lru);
+        let bip_hits = run(ReplacementPolicy::Bip);
+        assert!(
+            bip_hits > lru_hits,
+            "BIP {bip_hits} hits should beat LRU {lru_hits} under thrash"
+        );
+    }
+
+    #[test]
+    fn policies_agree_when_working_set_fits() {
+        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Bip] {
+            let mut c = with_policy(policy);
+            let lines: Vec<u64> = (0..8u64).map(|i| i * 64).collect();
+            for _ in 0..3 {
+                for &a in &lines {
+                    c.access(a);
+                }
+            }
+            assert_eq!(c.stats().misses, 8, "{policy:?} compulsory misses only");
+        }
+    }
+}

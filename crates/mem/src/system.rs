@@ -1,0 +1,315 @@
+//! The cache + DRAM front-end driven by the accelerator models.
+//!
+//! Reads probe the global cache and go to DRAM on miss; writes stream to
+//! DRAM (no-allocate, invalidating stale lines) — matching the paper's
+//! architecture where the compressor flushes output slices straight to
+//! DRAM (§V-E) while aggregation reads flow through the global cache
+//! (§III-B). Every request is tagged with a [`Traffic`] class so reports
+//! can reproduce the breakdown of Fig. 14.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::dram::{Dram, DramConfig, DramStats};
+
+/// Traffic classes of the paper's memory-access breakdown (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traffic {
+    /// Graph topology (`Ã` in CSR).
+    Topology,
+    /// Feature reads (X^l inputs to aggregation/combination).
+    FeatureRead,
+    /// Feature writes (X^(l+1) outputs).
+    FeatureWrite,
+    /// Weight matrices.
+    Weight,
+    /// Partial-sum spills (AWB-GCN's column-product dataflow).
+    PartialSum,
+}
+
+impl Traffic {
+    /// All classes in report order.
+    pub const ALL: [Traffic; 5] = [
+        Traffic::Topology,
+        Traffic::FeatureRead,
+        Traffic::FeatureWrite,
+        Traffic::Weight,
+        Traffic::PartialSum,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Traffic::Topology => "topology",
+            Traffic::FeatureRead => "feature-in",
+            Traffic::FeatureWrite => "feature-out",
+            Traffic::Weight => "weights",
+            Traffic::PartialSum => "partial-sums",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Traffic::Topology => 0,
+            Traffic::FeatureRead => 1,
+            Traffic::FeatureWrite => 2,
+            Traffic::Weight => 3,
+            Traffic::PartialSum => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Traffic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-class counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Cacheline-granular bytes requested (before cache filtering).
+    pub bytes_requested: u64,
+    /// Bytes that reached DRAM (read misses / streamed writes).
+    pub dram_bytes: u64,
+}
+
+/// Snapshot returned by [`MemorySystem::report`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemReport {
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Per-class counters, indexed per [`Traffic::ALL`].
+    pub per_class: [TrafficStats; 5],
+}
+
+impl MemReport {
+    /// Counters for one traffic class.
+    pub fn traffic(&self, kind: Traffic) -> TrafficStats {
+        self.per_class[kind.index()]
+    }
+
+    /// Bytes read from DRAM.
+    pub fn dram_bytes_read(&self) -> u64 {
+        self.dram.bytes_read
+    }
+
+    /// Total DRAM bytes moved (read + write).
+    pub fn dram_total_bytes(&self) -> u64 {
+        self.dram.total_bytes()
+    }
+}
+
+/// The memory hierarchy: global cache in front of HBM.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cache: Cache,
+    dram: Dram,
+    per_class: [TrafficStats; 5],
+    line_bytes: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy.
+    pub fn new(cache_config: CacheConfig, dram_config: DramConfig) -> Self {
+        let line_bytes = cache_config.line_bytes;
+        MemorySystem {
+            cache: Cache::new(cache_config),
+            dram: Dram::new(dram_config),
+            per_class: [TrafficStats::default(); 5],
+            line_bytes,
+        }
+    }
+
+    /// Reads `bytes` bytes at `addr` through the cache; misses go to DRAM.
+    pub fn read(&mut self, addr: u64, bytes: u64, kind: Traffic) {
+        if bytes == 0 {
+            return;
+        }
+        self.per_class[kind.index()].requests += 1;
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        for line in first..=last {
+            let line_addr = line * self.line_bytes;
+            self.per_class[kind.index()].bytes_requested += self.line_bytes;
+            if !self.cache.access(line_addr) {
+                self.dram.access(line_addr, false);
+                self.per_class[kind.index()].dram_bytes += self.line_bytes;
+            }
+        }
+    }
+
+    /// Reads bypassing the cache — streaming accesses (e.g. topology in
+    /// accelerators that do not cache it).
+    pub fn read_uncached(&mut self, addr: u64, bytes: u64, kind: Traffic) {
+        if bytes == 0 {
+            return;
+        }
+        let stats = &mut self.per_class[kind.index()];
+        stats.requests += 1;
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        for line in first..=last {
+            self.dram.access(line * self.line_bytes, false);
+            let s = &mut self.per_class[kind.index()];
+            s.bytes_requested += self.line_bytes;
+            s.dram_bytes += self.line_bytes;
+        }
+    }
+
+    /// Streams `bytes` bytes at `addr` to DRAM (write-no-allocate),
+    /// invalidating any stale cached lines.
+    pub fn write(&mut self, addr: u64, bytes: u64, kind: Traffic) {
+        if bytes == 0 {
+            return;
+        }
+        self.per_class[kind.index()].requests += 1;
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        for line in first..=last {
+            let line_addr = line * self.line_bytes;
+            self.cache.invalidate(line_addr);
+            self.dram.access(line_addr, true);
+            let s = &mut self.per_class[kind.index()];
+            s.bytes_requested += self.line_bytes;
+            s.dram_bytes += self.line_bytes;
+        }
+    }
+
+    /// Read-modify-write of `bytes` at `addr` through the cache —
+    /// accumulation buffers (partial sums). Hits stay on chip; a miss
+    /// fetches the line and charges the eventual dirty write-back.
+    pub fn read_modify_write(&mut self, addr: u64, bytes: u64, kind: Traffic) {
+        if bytes == 0 {
+            return;
+        }
+        self.per_class[kind.index()].requests += 1;
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        for line in first..=last {
+            let line_addr = line * self.line_bytes;
+            self.per_class[kind.index()].bytes_requested += self.line_bytes;
+            if !self.cache.access(line_addr) {
+                self.dram.access(line_addr, false);
+                self.dram.access(line_addr, true); // dirty write-back
+                self.per_class[kind.index()].dram_bytes += 2 * self.line_bytes;
+            }
+        }
+    }
+
+    /// Elapsed DRAM time (busiest channel) in cycles.
+    pub fn elapsed_dram_cycles(&self) -> u64 {
+        self.dram.elapsed_cycles()
+    }
+
+    /// Achieved DRAM bandwidth utilization over `elapsed` cycles.
+    pub fn bandwidth_utilization(&self, elapsed: u64) -> f64 {
+        self.dram.bandwidth_utilization(elapsed)
+    }
+
+    /// Resets the DRAM service clocks (between layers/phases).
+    pub fn reset_dram_time(&mut self) {
+        self.dram.reset_time();
+    }
+
+    /// Drops all cached lines (keeps statistics).
+    pub fn flush_cache(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Counters snapshot.
+    pub fn report(&self) -> MemReport {
+        MemReport {
+            cache: self.cache.stats(),
+            dram: self.dram.stats(),
+            per_class: self.per_class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(CacheConfig::default(), DramConfig::hbm2())
+    }
+
+    #[test]
+    fn read_hits_second_time() {
+        let mut m = sys();
+        m.read(0, 256, Traffic::FeatureRead);
+        m.read(0, 256, Traffic::FeatureRead);
+        let r = m.report();
+        assert_eq!(r.cache.misses, 4);
+        assert_eq!(r.cache.hits, 4);
+        assert_eq!(r.dram_bytes_read(), 256);
+        assert_eq!(r.traffic(Traffic::FeatureRead).bytes_requested, 512);
+        assert_eq!(r.traffic(Traffic::FeatureRead).dram_bytes, 256);
+    }
+
+    #[test]
+    fn unaligned_read_touches_extra_line() {
+        let mut m = sys();
+        m.read(60, 8, Traffic::FeatureRead); // straddles two lines
+        assert_eq!(m.report().dram_bytes_read(), 128);
+    }
+
+    #[test]
+    fn write_streams_and_invalidates() {
+        let mut m = sys();
+        m.read(0, 64, Traffic::FeatureRead);
+        m.write(0, 64, Traffic::FeatureWrite);
+        // The line was invalidated: next read misses again.
+        m.read(0, 64, Traffic::FeatureRead);
+        let r = m.report();
+        assert_eq!(r.cache.hits, 0);
+        assert_eq!(r.dram.bytes_written, 64);
+        assert_eq!(r.dram_bytes_read(), 128);
+        assert_eq!(r.traffic(Traffic::FeatureWrite).dram_bytes, 64);
+    }
+
+    #[test]
+    fn uncached_read_never_fills() {
+        let mut m = sys();
+        m.read_uncached(0, 128, Traffic::Topology);
+        m.read(0, 128, Traffic::Topology);
+        let r = m.report();
+        // The cached read still misses: the uncached one did not fill.
+        assert_eq!(r.cache.misses, 2);
+        assert_eq!(r.traffic(Traffic::Topology).dram_bytes, 128 + 128);
+    }
+
+    #[test]
+    fn traffic_classes_are_separate() {
+        let mut m = sys();
+        m.read(0, 64, Traffic::Topology);
+        m.read(1 << 20, 64, Traffic::Weight);
+        m.write(2 << 20, 64, Traffic::PartialSum);
+        let r = m.report();
+        assert_eq!(r.traffic(Traffic::Topology).requests, 1);
+        assert_eq!(r.traffic(Traffic::Weight).requests, 1);
+        assert_eq!(r.traffic(Traffic::PartialSum).requests, 1);
+        assert_eq!(r.traffic(Traffic::FeatureRead).requests, 0);
+    }
+
+    #[test]
+    fn zero_byte_ops_are_noops() {
+        let mut m = sys();
+        m.read(0, 0, Traffic::FeatureRead);
+        m.write(0, 0, Traffic::FeatureWrite);
+        let r = m.report();
+        assert_eq!(r.cache.accesses(), 0);
+        assert_eq!(r.dram_total_bytes(), 0);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut l: Vec<&str> = Traffic::ALL.iter().map(|t| t.label()).collect();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), 5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Feature-space analysis: over-smoothing and disentanglement metrics.
+//!
+//! The paper's background (§III-A) recalls that GCNs deeper than ~5 layers
+//! without residual connections collapse — *over-smoothing*: all vertex
+//! features converge to the same point, which is also why their
+//! intermediate sparsity stays low (§II-A interprets high sparsity as the
+//! network finding "disentangled representations"). These metrics make
+//! that story measurable on [`crate::ModelTrace`]s.
+
+use sgcn_formats::DenseMatrix;
+
+use crate::reference::ModelTrace;
+
+/// Mean pairwise cosine similarity of the rows of `m`, estimated over a
+/// deterministic sample of row pairs (full O(n²) above a few hundred rows
+/// is wasteful). 1.0 = fully over-smoothed (all rows parallel).
+pub fn mean_pairwise_cosine(m: &DenseMatrix) -> f64 {
+    let n = m.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    // Deterministic pair sample: stride-based, covers the matrix evenly.
+    let pairs = 512.min(n * (n - 1) / 2);
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    let mut a = 0usize;
+    let mut b = n / 2;
+    for k in 0..pairs {
+        if a == b {
+            b = (b + 1) % n;
+        }
+        sum += cosine(m.row_slice(a), m.row_slice(b));
+        count += 1;
+        a = (a + 1) % n;
+        b = (b + 1 + k % 3) % n;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Cosine similarity of two vectors (0 when either is a zero vector).
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine requires equal lengths");
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Over-smoothing trajectory: mean pairwise cosine similarity of each
+/// traced layer's features. A rising curve toward 1.0 = collapsing
+/// representation.
+pub fn oversmoothing_trajectory(trace: &ModelTrace) -> Vec<f64> {
+    (0..=trace.num_layers())
+        .map(|l| mean_pairwise_cosine(trace.layer_features(l)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::synthesize_features;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn cosine_length_mismatch_panics() {
+        let _ = cosine(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn identical_rows_are_fully_smoothed() {
+        let m = DenseMatrix::from_vec(4, 3, vec![1.0, 2.0, 3.0].repeat(4));
+        assert!((mean_pairwise_cosine(&m) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_positive_rows_are_not_fully_smoothed() {
+        let m = synthesize_features(100, 64, 0.5, 3);
+        let s = mean_pairwise_cosine(&m);
+        assert!(s < 0.9, "random features should not be collapsed: {s}");
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn trajectory_has_layerplus1_points() {
+        use crate::{NetworkConfig, ReferenceExecutor};
+        use sgcn_graph::{generate, Normalization};
+        let g = generate::erdos_renyi(50, 4.0, 1, Normalization::Symmetric);
+        let exec = ReferenceExecutor::new(&g, NetworkConfig::deep_residual(3, 16), 1);
+        let input = synthesize_features(50, 16, 0.8, 2);
+        let trace = exec.infer(&input, &[0.5, 0.5, 0.5]);
+        let traj = oversmoothing_trajectory(&trace);
+        assert_eq!(traj.len(), 4);
+        assert!(traj.iter().all(|&v| (-1.0..=1.0 + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn aggregation_increases_smoothing() {
+        use crate::layer::aggregate;
+        use crate::GcnVariant;
+        use sgcn_graph::{generate, Normalization};
+        // Repeated symmetric aggregation without nonlinearity smooths
+        // features — the over-smoothing mechanism itself.
+        let g = generate::erdos_renyi(80, 8.0, 2, Normalization::Symmetric);
+        let mut x = synthesize_features(80, 32, 0.3, 5);
+        let before = mean_pairwise_cosine(&x);
+        for _ in 0..6 {
+            x = aggregate(&g, &x, GcnVariant::Gcn, 0);
+        }
+        let after = mean_pairwise_cosine(&x);
+        assert!(after > before + 0.1, "before {before} after {after}");
+    }
+}

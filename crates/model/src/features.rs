@@ -1,0 +1,81 @@
+//! Feature-matrix synthesis.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgcn_formats::DenseMatrix;
+
+/// Generates an input feature matrix (`X¹`) with the given sparsity —
+/// bag-of-words / one-hot style: non-zero positions are uniform per row,
+/// values positive. NELL-style 99.9% sparsity yields near-one-hot rows
+/// (§VII-B).
+pub fn generate_input_features(rows: usize, cols: usize, sparsity: f64, seed: u64) -> DenseMatrix {
+    synthesize_features(rows, cols, sparsity, seed)
+}
+
+/// Generates a matrix with per-row non-zero counts targeting `sparsity`
+/// (small per-row jitter so rows vary, as real features do).
+pub fn synthesize_features(rows: usize, cols: usize, sparsity: f64, seed: u64) -> DenseMatrix {
+    let sparsity = sparsity.clamp(0.0, 1.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        // ±5% jitter around the target density, clamped.
+        let jitter: f64 = rng.gen_range(-0.05..0.05);
+        let density = (1.0 - sparsity + jitter).clamp(0.0, 1.0);
+        let nnz = ((cols as f64) * density).round() as usize;
+        let nnz = nnz.min(cols);
+        // Reservoir-free sampling: mark nnz distinct positions.
+        let row = m.row_slice_mut(r);
+        let mut placed = 0usize;
+        while placed < nnz {
+            let c = rng.gen_range(0..cols);
+            if row[c] == 0.0 {
+                row[c] = rng.gen_range(0.05..1.0);
+                placed += 1;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_target_sparsity() {
+        for &s in &[0.3, 0.5, 0.9] {
+            let m = synthesize_features(200, 128, s, 5);
+            assert!((m.sparsity() - s).abs() < 0.03, "target {s} got {}", m.sparsity());
+        }
+    }
+
+    #[test]
+    fn one_hot_style_for_extreme_sparsity() {
+        let m = generate_input_features(100, 1000, 0.999, 3);
+        // ~1 non-zero per row.
+        let avg_nnz = m.count_nonzeros() as f64 / 100.0;
+        assert!(avg_nnz < 30.0, "avg nnz {avg_nnz}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(synthesize_features(10, 10, 0.5, 1), synthesize_features(10, 10, 0.5, 1));
+    }
+
+    #[test]
+    fn rows_vary() {
+        let m = synthesize_features(50, 256, 0.5, 2);
+        let nnz0 = m.row(0).iter().filter(|&&v| v != 0.0).count();
+        let any_diff = (1..50).any(|r| m.row(r).iter().filter(|&&v| v != 0.0).count() != nnz0);
+        assert!(any_diff, "per-row jitter should vary nnz");
+    }
+
+    #[test]
+    fn fully_dense_and_fully_sparse() {
+        let d = synthesize_features(5, 16, 0.0, 1);
+        assert!(d.sparsity() < 0.08);
+        let s = synthesize_features(5, 16, 1.0, 1);
+        assert!(s.sparsity() > 0.9);
+    }
+}

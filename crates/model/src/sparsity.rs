@@ -1,0 +1,93 @@
+//! Target-calibrated activation sparsity.
+//!
+//! The paper's workloads are *trained* 28-layer residual GCNs whose
+//! intermediate features measure 40–80% sparse (Table II, Fig. 2). We do
+//! not train; instead each layer's activation threshold is calibrated so
+//! the post-activation sparsity hits the published target: a shifted ReLU
+//! `max(0, x − q)` where `q` is the target quantile of the pre-activation
+//! distribution. A trained network achieves the same effect through its
+//! learned biases/normalization ("with normalized values, the after-ReLU
+//! distribution will have a near-zero mean, leading to ~50% sparsity",
+//! §VII-B); the simulator only consumes the resulting non-zero *pattern*.
+
+/// Fraction of exactly-zero elements.
+pub fn measure(values: &[f32]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v == 0.0).count() as f64 / values.len() as f64
+}
+
+/// The `target`-quantile of `values` (interpolation-free, lower quantile).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `target` is not in `[0, 1]`.
+pub fn quantile(values: &[f32], target: f64) -> f32 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&target), "quantile target out of range");
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((sorted.len() as f64 - 1.0) * target).round() as usize;
+    sorted[idx]
+}
+
+/// Applies the calibrated shifted ReLU in place: `x ← max(0, x − q)` where
+/// `q` is the `target` quantile, producing ≈`target` sparsity.
+///
+/// Returns the threshold used.
+pub fn apply_relu_with_target(values: &mut [f32], target: f64) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let q = quantile(values, target);
+    for v in values.iter_mut() {
+        *v = (*v - q).max(0.0);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn measure_basics() {
+        assert_eq!(measure(&[]), 0.0);
+        assert_eq!(measure(&[0.0, 1.0, 0.0, 2.0]), 0.5);
+    }
+
+    #[test]
+    fn quantile_of_known_set() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn calibration_hits_target_on_continuous_data() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for &target in &[0.45, 0.55, 0.70] {
+            let mut v: Vec<f32> = (0..10_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            apply_relu_with_target(&mut v, target);
+            let got = measure(&v);
+            assert!((got - target).abs() < 0.02, "target {target} got {got}");
+        }
+    }
+
+    #[test]
+    fn output_is_nonnegative() {
+        let mut v = vec![-3.0, -1.0, 0.5, 2.0];
+        apply_relu_with_target(&mut v, 0.5);
+        assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic weight initialization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgcn_formats::DenseMatrix;
+
+/// Glorot/Xavier-uniform initialization: values in `±sqrt(6/(fan_in+fan_out))`.
+///
+/// Deterministic per seed, so every run of an experiment sees identical
+/// networks.
+pub fn glorot(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let limit = (6.0 / (rows + cols).max(1) as f64).sqrt() as f32;
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(glorot(8, 8, 1), glorot(8, 8, 1));
+        assert_ne!(glorot(8, 8, 1), glorot(8, 8, 2));
+    }
+
+    #[test]
+    fn values_within_limit() {
+        let w = glorot(16, 48, 3);
+        let limit = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        // Not degenerate.
+        assert!(w.as_slice().iter().any(|&v| v != 0.0));
+    }
+}

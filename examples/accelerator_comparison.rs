@@ -1,0 +1,60 @@
+//! Run the full six-accelerator lineup of the paper's Fig. 11 on one
+//! dataset and print a per-accelerator breakdown: cycles, traffic by
+//! class, energy, and estimated power.
+//!
+//! Run with: `cargo run --release --example accelerator_comparison [DATASET]`
+//! where DATASET is one of CR CS PM NL RD FK YP DB GH (default PM).
+
+use sgcn::accel::AccelModel;
+use sgcn::config::HwConfig;
+use sgcn::workload::Workload;
+use sgcn_graph::datasets::{DatasetId, SynthScale};
+use sgcn_mem::Traffic;
+use sgcn_model::NetworkConfig;
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "PM".to_string());
+    let id = DatasetId::ALL
+        .into_iter()
+        .find(|d| d.abbrev().eq_ignore_ascii_case(&want))
+        .unwrap_or_else(|| {
+            eprintln!("unknown dataset {want:?}; use one of CR CS PM NL RD FK YP DB GH");
+            std::process::exit(2);
+        });
+
+    let scale = SynthScale {
+        max_vertices: 2048,
+        max_avg_degree: 24.0,
+        max_input_features: 2048,
+    };
+    let workload = Workload::build(id, scale, NetworkConfig::paper_default(), 2023);
+    let hw = HwConfig::default().with_cache_kib(64);
+
+    println!(
+        "{} — {} vertices, {} edges, sparsity {:.1}%\n",
+        workload.dataset.spec.name,
+        workload.vertices(),
+        workload.effective_edges(),
+        100.0 * workload.trace.avg_intermediate_sparsity()
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>7}",
+        "accel", "speedup", "cycles", "feat-in", "feat-out", "partial", "mJ", "W"
+    );
+    let baseline = AccelModel::gcnax().simulate(&workload, &hw);
+    for m in AccelModel::fig11_lineup() {
+        let r = m.simulate(&workload, &hw);
+        println!(
+            "{:<10} {:>7.2}x {:>10} {:>10} {:>10} {:>10} {:>8.2} {:>7.2}",
+            r.accelerator,
+            r.speedup_over(&baseline),
+            r.cycles,
+            r.dram_bytes_for(Traffic::FeatureRead) / 1024,
+            r.dram_bytes_for(Traffic::FeatureWrite) / 1024,
+            r.dram_bytes_for(Traffic::PartialSum) / 1024,
+            r.energy.total_mj(),
+            r.tdp_watts
+        );
+    }
+    println!("\n(feature traffic columns in KiB of DRAM transfer)");
+}

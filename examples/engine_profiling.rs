@@ -1,0 +1,59 @@
+//! Engine-level profiling: where do the cycles go inside one aggregation
+//! engine? Drives the composed graph-reader → feature-reader → SIMD
+//! datapath (paper Fig. 5) with dense vs BEICSR-sparse work, and checks
+//! the §V-B claim that per-slice occupancy has small variance.
+//!
+//! Run with: `cargo run --release --example engine_profiling`
+
+use sgcn_engines::datapath::{simulate_aggregation, DatapathConfig};
+use sgcn_formats::stats::SliceStats;
+use sgcn_formats::{Beicsr, BeicsrConfig};
+use sgcn_graph::builder::Normalization;
+use sgcn_graph::generate::{clustered, ClusterConfig};
+use sgcn_model::features::synthesize_features;
+
+fn main() {
+    let graph = clustered(
+        ClusterConfig {
+            vertices: 1000,
+            avg_degree: 10.0,
+            ..ClusterConfig::default()
+        },
+        1,
+        Normalization::Symmetric,
+    );
+    let width = 96;
+    let features = synthesize_features(1000, width, 0.55, 2);
+    let beicsr = Beicsr::encode(&features, BeicsrConfig::default());
+
+    // §V-B: the per-slice occupancy distribution.
+    let stats = SliceStats::measure(&beicsr);
+    println!("per-slice occupancy: mean {:.1} of {width}, σ {:.1}, CV {:.2}, >90%-full slots {:.2}%",
+        stats.mean(), stats.std_dev(), stats.coefficient_of_variation(),
+        100.0 * stats.outlier_fraction(0.9));
+
+    // Build the per-edge lane-work streams for the first 2000 edges.
+    let mut dense_work = Vec::new();
+    let mut sparse_work = Vec::new();
+    'outer: for dst in 0..graph.num_vertices() {
+        for &src in graph.neighbors(dst) {
+            dense_work.push(width);
+            sparse_work.push(beicsr.slot_nnz(src as usize, 0));
+            if dense_work.len() >= 2000 {
+                break 'outer;
+            }
+        }
+    }
+
+    let cfg = DatapathConfig::default();
+    println!("\n{:<8} {:>9} {:>7} {:>11} {:>13} {:>8}", "mode", "cycles", "busy", "edge-stall", "feat-stall", "util");
+    for (name, work) in [("dense", &dense_work), ("BEICSR", &sparse_work)] {
+        let p = simulate_aggregation(cfg, work);
+        println!(
+            "{:<8} {:>9} {:>7} {:>11} {:>13} {:>7.1}%",
+            name, p.cycles, p.busy_cycles, p.edge_stalls, p.feature_stalls,
+            100.0 * p.utilization()
+        );
+    }
+    println!("\nThe sparse stream finishes in roughly (1 − sparsity)× the dense cycles:\nonly non-zeros flow through the multiplier lanes (§V-D).");
+}

@@ -1,0 +1,1 @@
+//! SGCN reproduction umbrella crate: examples and integration tests live here.

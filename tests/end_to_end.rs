@@ -1,0 +1,131 @@
+//! Cross-crate end-to-end invariants: workload construction → all six
+//! accelerator models → reports.
+
+use sgcn::accel::AccelModel;
+use sgcn::config::HwConfig;
+use sgcn::metrics::GeoMean;
+use sgcn::workload::Workload;
+use sgcn_graph::datasets::{DatasetId, SynthScale};
+use sgcn_mem::Traffic;
+use sgcn_model::NetworkConfig;
+
+fn workload(id: DatasetId) -> Workload {
+    Workload::build(id, SynthScale::tiny(), NetworkConfig::deep_residual(5, 128), 3)
+}
+
+fn hw() -> HwConfig {
+    HwConfig::default().with_cache_kib(16)
+}
+
+#[test]
+fn sgcn_wins_on_every_tiny_dataset() {
+    let mut geo = GeoMean::new();
+    for id in [DatasetId::Cora, DatasetId::PubMed, DatasetId::Dblp] {
+        let wl = workload(id);
+        let base = AccelModel::gcnax().simulate(&wl, &hw());
+        let sgcn = AccelModel::sgcn().simulate(&wl, &hw());
+        let s = sgcn.speedup_over(&base);
+        assert!(s > 1.0, "{}: speedup {s}", id.abbrev());
+        assert!(sgcn.dram_bytes() < base.dram_bytes(), "{}", id.abbrev());
+        assert!(sgcn.energy.total_pj() < base.energy.total_pj(), "{}", id.abbrev());
+        geo.push(s);
+    }
+    assert!(geo.value() > 1.15, "geomean {}", geo.value());
+}
+
+#[test]
+fn all_accelerators_produce_sane_reports() {
+    let wl = workload(DatasetId::CiteSeer);
+    for m in AccelModel::fig11_lineup() {
+        let r = m.simulate(&wl, &hw());
+        assert!(r.cycles > 0, "{}", r.accelerator);
+        assert!(r.macs > 0, "{}", r.accelerator);
+        assert!(r.dram_bytes() > 0, "{}", r.accelerator);
+        assert!(r.tdp_watts > 2.0 && r.tdp_watts < 12.0, "{}", r.accelerator);
+        // Cycles can never be below the pure DRAM service time of the
+        // layer-wise maxima... but must at least cover the largest
+        // component divided by overlap; sanity: cycles >= mem/2.
+        assert!(r.cycles * 2 >= r.mem_cycles, "{}", r.accelerator);
+        // Every accelerator moves some topology and feature traffic.
+        assert!(r.dram_bytes_for(Traffic::Topology) > 0, "{}", r.accelerator);
+        assert!(r.dram_bytes_for(Traffic::FeatureRead) > 0, "{}", r.accelerator);
+    }
+}
+
+#[test]
+fn only_awb_spills_partials() {
+    let wl = workload(DatasetId::Cora);
+    for m in AccelModel::fig11_lineup() {
+        let r = m.simulate(&wl, &hw());
+        if m.column_product {
+            // Partial traffic exists (possibly small if the psum banks
+            // capture everything — force a tiny cache to be sure).
+            let tight = AccelModel::awb_gcn().simulate(&wl, &HwConfig::default().with_cache_kib(8));
+            assert!(tight.dram_bytes_for(Traffic::PartialSum) > 0);
+        } else {
+            assert_eq!(r.dram_bytes_for(Traffic::PartialSum), 0, "{}", r.accelerator);
+        }
+    }
+}
+
+#[test]
+fn compressed_writes_shrink_feature_output() {
+    let wl = workload(DatasetId::PubMed);
+    let base = AccelModel::gcnax().simulate(&wl, &hw());
+    let sgcn = AccelModel::sgcn().simulate(&wl, &hw());
+    let b = base.dram_bytes_for(Traffic::FeatureWrite);
+    let s = sgcn.dram_bytes_for(Traffic::FeatureWrite);
+    // ~70% sparse features → compressed writes well under dense.
+    assert!(s * 2 < b * 2 && s < b * 7 / 10, "sgcn {s} vs dense {b}");
+}
+
+#[test]
+fn deeper_networks_cost_proportionally_more() {
+    let shallow = Workload::build(
+        DatasetId::Cora,
+        SynthScale::tiny(),
+        NetworkConfig::deep_residual(4, 64),
+        3,
+    );
+    let deep = Workload::build(
+        DatasetId::Cora,
+        SynthScale::tiny(),
+        NetworkConfig::deep_residual(16, 64),
+        3,
+    );
+    let r4 = AccelModel::sgcn().simulate(&shallow, &hw());
+    let r16 = AccelModel::sgcn().simulate(&deep, &hw());
+    let ratio = r16.cycles as f64 / r4.cycles as f64;
+    assert!(
+        (2.5..6.5).contains(&ratio),
+        "16 vs 4 layers should scale ~4x, got {ratio}"
+    );
+}
+
+#[test]
+fn larger_cache_never_slows_a_tiled_accelerator() {
+    let wl = workload(DatasetId::Dblp);
+    let small = AccelModel::gcnax().simulate(&wl, &HwConfig::default().with_cache_kib(8));
+    let large = AccelModel::gcnax().simulate(&wl, &HwConfig::default().with_cache_kib(256));
+    assert!(large.cycles <= small.cycles);
+    assert!(large.dram_bytes() <= small.dram_bytes());
+}
+
+#[test]
+fn hbm1_is_never_faster_than_hbm2() {
+    use sgcn_mem::HbmGeneration;
+    let wl = workload(DatasetId::Reddit);
+    let h2 = AccelModel::sgcn().simulate(&wl, &hw().with_hbm(HbmGeneration::Hbm2));
+    let h1 = AccelModel::sgcn().simulate(&wl, &hw().with_hbm(HbmGeneration::Hbm1));
+    assert!(h1.cycles >= h2.cycles);
+}
+
+#[test]
+fn more_engines_do_not_slow_down() {
+    let wl = workload(DatasetId::Reddit);
+    let e1 = AccelModel::sgcn().simulate(&wl, &hw().with_engines(1));
+    let e8 = AccelModel::sgcn().simulate(&wl, &hw().with_engines(8));
+    assert!(e8.cycles <= e1.cycles);
+    // And with 8 engines at least some speedup materializes.
+    assert!(e1.cycles as f64 / e8.cycles as f64 > 1.3);
+}

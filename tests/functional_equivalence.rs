@@ -1,0 +1,169 @@
+//! Functional equivalence across crates: the hardware-unit models
+//! (sparse aggregator, prefix sum, systolic GeMM, ReLU compressor) must
+//! reproduce the reference GCN math exactly when composed into a full
+//! layer over compressed features.
+
+use sgcn_engines::{Compressor, SparseAggregator, SystolicArray};
+use sgcn_formats::{Beicsr, BeicsrConfig, DenseMatrix, FeatureFormat};
+use sgcn_graph::builder::Normalization;
+use sgcn_graph::generate::{clustered, ClusterConfig};
+use sgcn_graph::CsrGraph;
+use sgcn_model::features::synthesize_features;
+use sgcn_model::layer::{aggregate, combine};
+use sgcn_model::weights::glorot;
+use sgcn_model::GcnVariant;
+
+fn test_graph(vertices: usize) -> CsrGraph {
+    clustered(
+        ClusterConfig {
+            vertices,
+            avg_degree: 6.0,
+            ..ClusterConfig::default()
+        },
+        11,
+        Normalization::Symmetric,
+    )
+}
+
+/// Executes one full SGCN layer (sparse aggregation from BEICSR →
+/// systolic combination with residual init → ReLU + in-place compression)
+/// and compares against the dense reference path.
+#[test]
+fn sgcn_layer_pipeline_matches_dense_reference() {
+    let n = 120;
+    let width = 96;
+    let graph = test_graph(n);
+    let x_dense = synthesize_features(n, width, 0.5, 3);
+    let weight = glorot(width, width, 5);
+    let residual = synthesize_features(n, width, 0.3, 9);
+
+    // Reference: dense aggregation, dense GeMM, residual add, plain ReLU.
+    let h_ref = aggregate(&graph, &x_dense, GcnVariant::Gcn, 0);
+    let s_ref = combine(&h_ref, &weight);
+    let mut expect = DenseMatrix::zeros(n, width);
+    for r in 0..n {
+        for c in 0..width {
+            expect.set(r, c, (s_ref.get(r, c) + residual.get(r, c)).max(0.0));
+        }
+    }
+
+    // Hardware path: BEICSR input → sparse aggregator → systolic GeMM with
+    // residual-initialized accumulators → compressor → BEICSR output.
+    let x_comp = Beicsr::encode(&x_dense, BeicsrConfig::default());
+    let agg = SparseAggregator::default();
+    let mut h = DenseMatrix::zeros(n, width);
+    for dst in 0..n {
+        let mut acc = vec![0.0f32; width];
+        for (&src, &w) in graph.neighbors(dst).iter().zip(graph.edge_weights(dst)) {
+            agg.aggregate_row(&mut acc, &x_comp, src as usize, w);
+        }
+        h.row_slice_mut(dst).copy_from_slice(&acc);
+    }
+    let s = SystolicArray::gemm(h.as_slice(), weight.as_slice(), residual.as_slice(), n, width, width);
+
+    let compressor = Compressor::new();
+    let mut out = Beicsr::with_shape(n, width, BeicsrConfig::default());
+    for r in 0..n {
+        compressor.relu_compress_row(&s[r * width..(r + 1) * width], &mut out, r);
+    }
+
+    // Decode and compare.
+    for r in 0..n {
+        let got = out.decode_row(r);
+        let want = expect.row(r);
+        for (c, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 2e-3 * (1.0 + w.abs()),
+                "row {r} col {c}: {g} vs {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compressed_output_feeds_next_layer() {
+    // Two chained layers entirely through the compressed path must match
+    // two reference layers.
+    let n = 60;
+    let width = 64;
+    let graph = test_graph(n);
+    let x0 = synthesize_features(n, width, 0.5, 1);
+    let w0 = glorot(width, width, 2);
+    let w1 = glorot(width, width, 3);
+
+    let reference = |x: &DenseMatrix, w: &DenseMatrix| {
+        let h = aggregate(&graph, x, GcnVariant::Gcn, 0);
+        let s = combine(&h, w);
+        let mut out = DenseMatrix::zeros(n, width);
+        for r in 0..n {
+            for c in 0..width {
+                out.set(r, c, s.get(r, c).max(0.0));
+            }
+        }
+        out
+    };
+    let expect = reference(&reference(&x0, &w0), &w1);
+
+    let hardware_layer = |x: &Beicsr, w: &DenseMatrix| {
+        let agg = SparseAggregator::default();
+        let mut h = vec![0.0f32; n * width];
+        for dst in 0..n {
+            let mut acc = vec![0.0f32; width];
+            for (&src, &ew) in graph.neighbors(dst).iter().zip(graph.edge_weights(dst)) {
+                agg.aggregate_row(&mut acc, x, src as usize, ew);
+            }
+            h[dst * width..(dst + 1) * width].copy_from_slice(&acc);
+        }
+        let s = SystolicArray::gemm(&h, w.as_slice(), &vec![0.0; n * width], n, width, width);
+        let mut out = Beicsr::with_shape(n, width, BeicsrConfig::default());
+        let c = Compressor::new();
+        for r in 0..n {
+            c.relu_compress_row(&s[r * width..(r + 1) * width], &mut out, r);
+        }
+        out
+    };
+    let l1 = hardware_layer(&Beicsr::encode(&x0, BeicsrConfig::default()), &w0);
+    let l2 = hardware_layer(&l1, &w1);
+
+    for r in 0..n {
+        let got = l2.decode_row(r);
+        for (c, (g, w)) in got.iter().zip(&expect.row(r)).enumerate() {
+            assert!(
+                (g - w).abs() < 5e-3 * (1.0 + w.abs()),
+                "row {r} col {c}: {g} vs {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregation_cost_counts_only_nonzeros() {
+    let n = 40;
+    let width = 96;
+    let graph = test_graph(n);
+    let x = synthesize_features(n, width, 0.7, 4);
+    let comp = Beicsr::encode(&x, BeicsrConfig::default());
+    let agg = SparseAggregator::default();
+    let mut total_mult = 0u64;
+    for dst in 0..n {
+        let mut acc = vec![0.0f32; width];
+        for (&src, &w) in graph.neighbors(dst).iter().zip(graph.edge_weights(dst)) {
+            total_mult += agg.aggregate_row(&mut acc, &comp, src as usize, w).multiplies;
+        }
+    }
+    let expected: u64 = (0..n)
+        .map(|dst| {
+            graph
+                .neighbors(dst)
+                .iter()
+                .map(|&s| {
+                    x.row_slice(s as usize).iter().filter(|&&v| v != 0.0).count() as u64
+                })
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(total_mult, expected);
+    // At 70% sparsity the saving over dense is ~70%.
+    let dense = graph.num_edges() as u64 * width as u64;
+    assert!(total_mult < dense * 4 / 10, "{total_mult} vs dense {dense}");
+}

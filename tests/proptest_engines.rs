@@ -1,0 +1,105 @@
+//! Property-based tests on the engine models: the prefix-sum network must
+//! equal the bitmap's software rank for every pattern, sparse aggregation
+//! must match a dense reference for arbitrary inputs, the compressor must
+//! be idempotent under ReLU, and the pipeline model must respect its
+//! theoretical bounds.
+
+use proptest::prelude::*;
+use sgcn_engines::{
+    two_stage_pipeline, Compressor, PrefixSumUnit, SparseAggregator, SystolicArray,
+};
+use sgcn_formats::{Beicsr, BeicsrConfig, Bitmap, DenseMatrix, FeatureFormat as _};
+
+fn row_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        prop_oneof![1 => Just(0.0f32), 1 => -4.0f32..4.0],
+        1..max_len,
+    )
+    .prop_map(|v| v.into_iter().map(|x| if x == 0.0 { 0.0 } else { x }).collect())
+}
+
+proptest! {
+    #[test]
+    fn prefix_sum_equals_bitmap_rank(row in row_strategy(200)) {
+        let bm = Bitmap::from_values(&row);
+        let unit = PrefixSumUnit::new(row.len());
+        let scan = unit.scan(&bm);
+        for i in 0..row.len() {
+            prop_assert_eq!(scan[i] as usize, bm.rank(i), "position {}", i);
+        }
+    }
+
+    #[test]
+    fn sparse_aggregation_matches_dense(
+        row in row_strategy(150),
+        weight in -2.0f32..2.0,
+        init in -1.0f32..1.0,
+    ) {
+        let cols = row.len();
+        let m = DenseMatrix::from_vec(1, cols, row.clone());
+        let b = Beicsr::encode(&m, BeicsrConfig::sliced(32));
+        let agg = SparseAggregator::default();
+        let mut acc = vec![init; cols];
+        agg.aggregate_row(&mut acc, &b, 0, weight);
+        for (c, (&got, &x)) in acc.iter().zip(&row).enumerate() {
+            let want = init + weight * x;
+            prop_assert!((got - want).abs() < 1e-4, "col {}: {} vs {}", c, got, want);
+        }
+    }
+
+    #[test]
+    fn compressor_is_idempotent_under_relu(row in row_strategy(150)) {
+        // Compressing already-ReLU'd data must reproduce it exactly.
+        let cols = row.len();
+        let relu: Vec<f32> = row.iter().map(|&v| v.max(0.0)).collect();
+        let comp = Compressor::new();
+        let mut out1 = Beicsr::with_shape(1, cols, BeicsrConfig::default());
+        comp.relu_compress_row(&row, &mut out1, 0);
+        let mut out2 = Beicsr::with_shape(1, cols, BeicsrConfig::default());
+        comp.relu_compress_row(&relu, &mut out2, 0);
+        prop_assert_eq!(out1.decode_row(0), out2.decode_row(0));
+        prop_assert_eq!(out1.decode_row(0), relu);
+    }
+
+    #[test]
+    fn compressor_counts_are_consistent(row in row_strategy(150)) {
+        let cols = row.len();
+        let comp = Compressor::new();
+        let mut out = Beicsr::with_shape(1, cols, BeicsrConfig::default());
+        let stats = comp.relu_compress_row(&row, &mut out, 0);
+        prop_assert_eq!(stats.nonzeros + stats.zeros, cols as u64);
+        prop_assert_eq!(stats.cycles, cols as u64);
+        prop_assert_eq!(stats.nonzeros, out.total_nnz());
+    }
+
+    #[test]
+    fn pipeline_bounds(items in proptest::collection::vec((0u64..1000, 0u64..1000), 0..40)) {
+        let total = two_stage_pipeline(&items);
+        let s0: u64 = items.iter().map(|i| i.0).sum();
+        let s1: u64 = items.iter().map(|i| i.1).sum();
+        prop_assert!(total >= s0.max(s1), "pipeline below bottleneck bound");
+        prop_assert!(total <= s0 + s1, "pipeline above serial bound");
+    }
+
+    #[test]
+    fn systolic_cycles_monotone_in_each_dim(m in 1usize..64, k in 1usize..128, n in 1usize..64) {
+        let sa = SystolicArray::new(sgcn_engines::SystolicConfig::default());
+        let base = sa.gemm_cycles(m, k, n);
+        prop_assert!(sa.gemm_cycles(m + 1, k, n) >= base);
+        prop_assert!(sa.gemm_cycles(m, k + 1, n) >= base);
+        prop_assert!(sa.gemm_cycles(m, k, n + 1) >= base);
+        // And the functional GeMM matches a naive reference on small
+        // shapes.
+        if m <= 4 && k <= 4 && n <= 4 {
+            let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 1.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| 1.0 - i as f32 * 0.25).collect();
+            let out = SystolicArray::gemm(&a, &b, &vec![0.0; m * n], m, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let want: f32 = (0..k).map(|p| a[i * k + p] * b[p * n + j]).sum();
+                    prop_assert!((out[i * n + j] - want).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the storage formats: every format must
+//! round-trip arbitrary matrices, and BEICSR's structural invariants
+//! (in-place offsets, alignment, bitmap consistency) must hold for all
+//! shapes and sparsity patterns.
+
+use proptest::prelude::*;
+use sgcn_formats::{
+    Beicsr, BeicsrConfig, BlockedEllpack, BsrFeatures, ColRange, CooFeatures, CsrFeatures,
+    DenseMatrix, FeatureFormat, CACHELINE_BYTES,
+};
+
+/// Strategy: a small dense matrix with a mix of zeros and non-zeros.
+fn matrix_strategy() -> impl Strategy<Value = DenseMatrix> {
+    (1usize..12, 1usize..40).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 2 => -10.0f32..10.0],
+            rows * cols,
+        )
+        .prop_map(move |data| {
+            // Avoid -0.0 (compares equal to 0.0 but is not bit-identical,
+            // and the formats canonicalize it away as a zero).
+            let data = data.into_iter().map(|v| if v == 0.0 { 0.0 } else { v }).collect();
+            DenseMatrix::from_vec(rows, cols, data)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_roundtrip(m in matrix_strategy()) {
+        let f = CsrFeatures::encode(&m);
+        for r in 0..m.rows() {
+            prop_assert_eq!(f.decode_row(r), m.row(r));
+        }
+    }
+
+    #[test]
+    fn coo_roundtrip(m in matrix_strategy()) {
+        let f = CooFeatures::encode(&m);
+        for r in 0..m.rows() {
+            prop_assert_eq!(f.decode_row(r), m.row(r));
+        }
+    }
+
+    #[test]
+    fn bsr_roundtrip(m in matrix_strategy()) {
+        let f = BsrFeatures::encode(&m);
+        for r in 0..m.rows() {
+            prop_assert_eq!(f.decode_row(r), m.row(r));
+        }
+    }
+
+    #[test]
+    fn ellpack_roundtrip(m in matrix_strategy()) {
+        let f = BlockedEllpack::encode(&m);
+        for r in 0..m.rows() {
+            prop_assert_eq!(f.decode_row(r), m.row(r));
+        }
+    }
+
+    #[test]
+    fn beicsr_roundtrip_all_configs(m in matrix_strategy(), slice in 1usize..20) {
+        for cfg in [BeicsrConfig::non_sliced(), BeicsrConfig::sliced(slice), BeicsrConfig::default()] {
+            let f = Beicsr::encode(&m, cfg);
+            for r in 0..m.rows() {
+                prop_assert_eq!(f.decode_row(r), m.row(r));
+            }
+        }
+    }
+
+    #[test]
+    fn beicsr_slots_are_aligned_and_disjoint(m in matrix_strategy(), slice in 1usize..20) {
+        let f = Beicsr::encode(&m, BeicsrConfig::sliced(slice));
+        let mut prev_end = 0u64;
+        for r in 0..m.rows() {
+            for s in 0..f.num_slices() {
+                let off = f.slot_offset(r, s);
+                prop_assert_eq!(off % CACHELINE_BYTES, 0, "slot ({}, {}) unaligned", r, s);
+                prop_assert!(off >= prev_end || off == 0 && prev_end == 0);
+                let span = f.slot_read_span(r, s);
+                prop_assert!(span.end() <= off + f.slot_bytes());
+                prev_end = off + f.slot_bytes();
+            }
+        }
+        prop_assert_eq!(f.capacity_bytes(), prev_end);
+    }
+
+    #[test]
+    fn beicsr_nnz_consistent_with_bitmap(m in matrix_strategy()) {
+        let f = Beicsr::encode(&m, BeicsrConfig::sliced(8));
+        for r in 0..m.rows() {
+            for s in 0..f.num_slices() {
+                prop_assert_eq!(f.slot_nnz(r, s), f.slot_bitmap(r, s).count_ones());
+                prop_assert_eq!(f.slot_values(r, s).len(), f.slot_nnz(r, s));
+                // Packed values are exactly the non-zeros in order.
+                let start = s * f.slice_elems();
+                let end = (start + f.slice_elems()).min(m.cols());
+                let expect: Vec<f32> = m.row(r)[start..end]
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != 0.0)
+                    .collect();
+                prop_assert_eq!(f.slot_values(r, s), &expect[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_spans_subset_of_row_spans_bytes(m in matrix_strategy()) {
+        // Reading a window never costs more raw bytes than the whole row
+        // plus one bitmap re-read per covering slice.
+        let f = Beicsr::encode(&m, BeicsrConfig::sliced(8));
+        let cols = m.cols();
+        for r in 0..m.rows() {
+            let full: u64 = f.row_spans(r).iter().map(|s| u64::from(s.bytes)).sum();
+            let half: u64 = f
+                .slice_spans(r, ColRange::new(0, cols / 2))
+                .iter()
+                .map(|s| u64::from(s.bytes))
+                .sum();
+            prop_assert!(half <= full + f.bitmap_bytes() * f.num_slices() as u64);
+        }
+    }
+
+    #[test]
+    fn capacity_is_at_least_payload(m in matrix_strategy()) {
+        // Every format must reserve at least the bytes of its non-zeros.
+        let payload = m.count_nonzeros() as u64 * 4;
+        let formats: Vec<Box<dyn FeatureFormat>> = vec![
+            Box::new(CsrFeatures::encode(&m)),
+            Box::new(CooFeatures::encode(&m)),
+            Box::new(BsrFeatures::encode(&m)),
+            Box::new(Beicsr::encode(&m, BeicsrConfig::default())),
+        ];
+        for f in formats {
+            prop_assert!(
+                f.capacity_bytes() >= payload,
+                "{} capacity {} < payload {}",
+                f.format_name(),
+                f.capacity_bytes(),
+                payload
+            );
+        }
+    }
+
+    #[test]
+    fn write_spans_equal_read_footprint_for_beicsr(m in matrix_strategy()) {
+        let f = Beicsr::encode(&m, BeicsrConfig::default());
+        for r in 0..m.rows() {
+            prop_assert_eq!(f.write_spans(r), f.row_spans(r));
+        }
+    }
+}
