@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sgcn_mem::{Cache, CacheConfig, Dram, DramConfig, MemorySystem, Traffic};
+use sgcn_mem::{
+    Cache, CacheConfig, CacheEngine, Dram, DramConfig, ListCache, MemorySystem, Traffic,
+};
 
 fn bench_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("cache");
@@ -20,11 +22,73 @@ fn bench_cache(c: &mut Criterion) {
     g.bench_function("random_probe", |b| {
         let mut cache = Cache::new(CacheConfig::default());
         let mut rng = SmallRng::seed_from_u64(1);
-        let addrs: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..(1u64 << 24))).collect();
+        let addrs: Vec<u64> = (0..10_000)
+            .map(|_| rng.gen_range(0..(1u64 << 24)))
+            .collect();
         b.iter(|| {
             for &a in &addrs {
                 cache.access(a);
             }
+        })
+    });
+    g.bench_function("random_probe_list_reference", |b| {
+        let mut cache = ListCache::new(CacheConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let addrs: Vec<u64> = (0..10_000)
+            .map(|_| rng.gen_range(0..(1u64 << 24)))
+            .collect();
+        b.iter(|| {
+            for &a in &addrs {
+                cache.access(a);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// The tentpole's batched span path vs the preserved naive per-line path:
+/// identical counters, different cost.
+fn bench_spans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("span_reads");
+    // 10k spans of 384 B (a 96-column f32 slice) with feature-sweep-like
+    // reuse: a hot window revisited plus a cold streaming tail.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let spans: Vec<u64> = (0..10_000)
+        .map(|i| {
+            if i % 3 == 0 {
+                rng.gen_range(0u64..1 << 16)
+            } else {
+                rng.gen_range(0u64..1 << 23)
+            }
+        })
+        .collect();
+    g.throughput(Throughput::Bytes(10_000 * 384));
+    g.bench_function("fast_flat_engine", |b| {
+        let mut mem = MemorySystem::with_engine(
+            CacheConfig::with_capacity_kib(64),
+            DramConfig::hbm2(),
+            CacheEngine::Flat,
+        );
+        b.iter(|| {
+            let mut counts = sgcn_mem::SpanCounts::default();
+            for &a in &spans {
+                counts.add(mem.read_span(a, 384, Traffic::FeatureRead));
+            }
+            counts
+        })
+    });
+    g.bench_function("naive_list_engine", |b| {
+        let mut mem = MemorySystem::with_engine(
+            CacheConfig::with_capacity_kib(64),
+            DramConfig::hbm2(),
+            CacheEngine::List,
+        );
+        b.iter(|| {
+            let mut counts = sgcn_mem::SpanCounts::default();
+            for &a in &spans {
+                counts.add(mem.read_span(a, 384, Traffic::FeatureRead));
+            }
+            counts
         })
     });
     g.finish();
@@ -51,7 +115,9 @@ fn bench_system(c: &mut Criterion) {
     g.bench_function("read_256B_requests", |b| {
         let mut mem = MemorySystem::new(CacheConfig::default(), DramConfig::hbm2());
         let mut rng = SmallRng::seed_from_u64(2);
-        let addrs: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..(1u64 << 26))).collect();
+        let addrs: Vec<u64> = (0..10_000)
+            .map(|_| rng.gen_range(0..(1u64 << 26)))
+            .collect();
         b.iter(|| {
             for &a in &addrs {
                 mem.read(a, 256, Traffic::FeatureRead);
@@ -61,5 +127,5 @@ fn bench_system(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_dram, bench_system);
+criterion_group!(benches, bench_cache, bench_spans, bench_dram, bench_system);
 criterion_main!(benches);

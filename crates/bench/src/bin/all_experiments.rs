@@ -2,60 +2,13 @@
 //! behind EXPERIMENTS.md. Expect a few minutes at paper scale; set
 //! `SGCN_QUICK=1` for a smoke run.
 
-use sgcn::experiments as exp;
-use sgcn_bench::{banner, experiment_config, quick_mode, selected_datasets};
-use sgcn_graph::datasets::DatasetId;
-use sgcn_model::GcnVariant;
+use sgcn_bench::{banner, experiment_config, quick_mode, run_suite, selected_datasets};
 
 fn main() {
     banner("all experiments");
     let cfg = experiment_config();
     let datasets = selected_datasets();
     let t0 = std::time::Instant::now();
-
-    let depths: &[usize] = if quick_mode() { &[1, 3, 5, 10] } else { &[1, 3, 5, 10, 28, 56, 112] };
-    println!("{}", exp::fig01_sparsity_vs_layers(&cfg, depths));
-    println!("{}", exp::fig02_per_layer_sparsity(&cfg));
-    let (traffic, speedup) = exp::fig03_format_comparison(&cfg, &datasets);
-    println!("{traffic}");
-    println!("{speedup}");
-    println!("{}", exp::table02_datasets(&cfg));
-    println!("{}", exp::fig11_performance(&cfg, &datasets));
-    println!("{}", exp::fig12_ablation(&cfg, &datasets));
-    println!("{}", exp::fig13_energy(&cfg, &datasets));
-    println!("{}", exp::fig14_memory_breakdown(&cfg, DatasetId::Reddit));
-    let sens_depths: &[usize] = if quick_mode() { &[4, 8] } else { &[7, 14, 28, 56] };
-    println!("{}", exp::fig15a_layer_sensitivity(&cfg, sens_depths));
-    let base = cfg.cache_kib;
-    // Cache sweep on a representative subset (CR/PM/GH) to bound runtime.
-    let cache_datasets: Vec<_> = if quick_mode() {
-        datasets.clone()
-    } else {
-        vec![DatasetId::Cora, DatasetId::PubMed, DatasetId::Github]
-    };
-    println!(
-        "{}",
-        exp::fig15b_cache_sensitivity(&cfg, &[base / 2, base, base * 2, base * 4, base * 8], &cache_datasets)
-    );
-    println!("{}", exp::fig16_variants(&cfg, &datasets, GcnVariant::GinConv { eps: 0.0 }));
-    println!("{}", exp::fig16_variants(&cfg, &datasets, GcnVariant::GraphSage { sample: 8 }));
-    println!(
-        "{}",
-        exp::fig17_slice_sensitivity(&cfg, &[32, 64, 96, 128, 256], &datasets)
-    );
-    println!("{}", exp::fig18_scalability(&cfg, &[1, 2, 4, 8, 16, 32], DatasetId::Reddit));
-    let pts: Vec<u32> = if quick_mode() { vec![10, 50, 90] } else { (1..=19).map(|i| i * 5).collect() };
-    println!("{}", exp::fig19_sparsity_sweep(&cfg, &pts, DatasetId::PubMed));
-
-    // Design-choice ablations (DESIGN.md) on a representative subset.
-    let abl: Vec<_> = if quick_mode() {
-        datasets.clone()
-    } else {
-        vec![DatasetId::Cora, DatasetId::PubMed, DatasetId::Github]
-    };
-    println!("{}", exp::ablation_beicsr_design(&cfg, &abl));
-    println!("{}", exp::ablation_sac_strip(&cfg, &[8, 16, 32, 64, 128], &abl));
-    println!("{}", exp::ablation_cache_policy(&cfg, &abl));
-
+    print!("{}", run_suite(&cfg, &datasets, quick_mode()));
     println!("total elapsed: {:.1}s", t0.elapsed().as_secs_f64());
 }

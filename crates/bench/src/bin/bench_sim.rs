@@ -1,0 +1,63 @@
+//! The simulator-throughput harness behind `BENCH_sim.json`.
+//!
+//! Times the full quick-mode experiment suite twice:
+//!
+//! 1. **naive** — `SGCN_NAIVE=1`: serial drivers, recency-list cache,
+//!    allocating per-span reads (the original seed path), and
+//! 2. **fast** — the default: parallel drivers, flat-array cache, batched
+//!    allocation-free span reads,
+//!
+//! asserts the rendered suites are byte-identical (the fast path must be
+//! invisible in the results), and emits `BENCH_sim.json` so later PRs
+//! have a trajectory to beat. Override the output path with
+//! `SGCN_BENCH_OUT`.
+
+use sgcn::experiments::ExperimentConfig;
+use sgcn_bench::{banner, run_suite, selected_datasets};
+
+fn timed(label: &str, run: impl FnOnce() -> String) -> (f64, String) {
+    let t0 = std::time::Instant::now();
+    let out = run();
+    let secs = t0.elapsed().as_secs_f64();
+    println!("{label}: {secs:.2}s");
+    (secs, out)
+}
+
+fn main() {
+    // The harness always measures the quick configuration: it is the
+    // regression yardstick, not a paper run.
+    std::env::set_var("SGCN_QUICK", "1");
+    banner("BENCH_sim harness (quick suite, naive vs fast)");
+    let cfg = ExperimentConfig::quick();
+    let datasets = selected_datasets();
+
+    std::env::set_var("SGCN_NAIVE", "1");
+    let (naive_s, naive_out) = timed("naive (serial, list cache, per-span allocs)", || {
+        run_suite(&cfg, &datasets, true)
+    });
+    std::env::remove_var("SGCN_NAIVE");
+    let (fast_s, fast_out) = timed("fast  (parallel, flat cache, batched spans)", || {
+        run_suite(&cfg, &datasets, true)
+    });
+
+    assert_eq!(
+        naive_out, fast_out,
+        "fast path changed the rendered experiment suite"
+    );
+    let speedup = naive_s / fast_s;
+    println!("speedup: {speedup:.2}x (outputs byte-identical)");
+    if sgcn_par::threads() == 1 {
+        println!(
+            "note: single CPU visible — the parallel drivers ran serially; \
+             the measured ratio is the pure single-core fast-path gain"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"all_experiments\",\n  \"mode\": \"quick\",\n  \"threads\": {},\n  \"naive_seconds\": {naive_s:.3},\n  \"fast_seconds\": {fast_s:.3},\n  \"speedup\": {speedup:.3},\n  \"outputs_identical\": true\n}}\n",
+        sgcn_par::threads(),
+    );
+    let path = std::env::var("SGCN_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_sim.json");
+    println!("wrote {path}");
+}

@@ -21,8 +21,17 @@ fn main() {
         );
         println!(
             "{:>18} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
-            "accel", "cycles", "agg", "comb", "mem", "dram_bytes", "topo", "f-in", "f-out",
-            "partial", "hit%"
+            "accel",
+            "cycles",
+            "agg",
+            "comb",
+            "mem",
+            "dram_bytes",
+            "topo",
+            "f-in",
+            "f-out",
+            "partial",
+            "hit%"
         );
         let mut lineup = AccelModel::fig11_lineup();
         lineup.push(AccelModel::sgcn_no_sac());

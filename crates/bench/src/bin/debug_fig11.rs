@@ -6,7 +6,12 @@ use sgcn_graph::datasets::DatasetId;
 
 fn main() {
     let cfg = ExperimentConfig::paper();
-    let datasets = [DatasetId::Cora, DatasetId::PubMed, DatasetId::Reddit, DatasetId::Github];
+    let datasets = [
+        DatasetId::Cora,
+        DatasetId::PubMed,
+        DatasetId::Reddit,
+        DatasetId::Github,
+    ];
     let t0 = std::time::Instant::now();
     let grid = fig11_performance(&cfg, &datasets);
     println!("{grid}");

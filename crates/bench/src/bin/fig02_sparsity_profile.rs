@@ -19,8 +19,15 @@ fn main() {
         "mod5".to_string(),
         "mod28".to_string(),
     ];
-    let rows: Vec<String> = DatasetId::ALL.iter().map(|d| d.abbrev().to_string()).collect();
-    let mut a = Grid::new("Fig 2a: avg sparsity (%), traditional vs residual", cols, rows);
+    let rows: Vec<String> = DatasetId::ALL
+        .iter()
+        .map(|d| d.abbrev().to_string())
+        .collect();
+    let mut a = Grid::new(
+        "Fig 2a: avg sparsity (%), traditional vs residual",
+        cols,
+        rows,
+    );
     for id in DatasetId::ALL {
         let ds = Dataset::synthesize(id, cfg.scale, Normalization::Symmetric);
         let avg = |l: usize, modern: bool| -> f64 {

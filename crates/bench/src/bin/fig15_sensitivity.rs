@@ -6,7 +6,11 @@ use sgcn_bench::{banner, experiment_config, quick_mode, selected_datasets};
 fn main() {
     banner("Fig 15: depth and cache sensitivity");
     let cfg = experiment_config();
-    let depths: &[usize] = if quick_mode() { &[4, 8] } else { &[7, 14, 28, 56, 112] };
+    let depths: &[usize] = if quick_mode() {
+        &[4, 8]
+    } else {
+        &[7, 14, 28, 56, 112]
+    };
     println!("{}", fig15a_layer_sensitivity(&cfg, depths));
 
     // The cache sweep scales with the scaled-down graphs: the paper sweeps
@@ -14,7 +18,10 @@ fn main() {
     // around the scaled default.
     let base = cfg.cache_kib;
     let caches: Vec<u64> = [base / 2, base, base * 2, base * 4, base * 8].to_vec();
-    println!("{}", fig15b_cache_sensitivity(&cfg, &caches, &selected_datasets()));
+    println!(
+        "{}",
+        fig15b_cache_sensitivity(&cfg, &caches, &selected_datasets())
+    );
     println!(
         "Paper shape: the speedup holds across depths (sparsity is depth-stable)\n\
          and across cache sizes; SAC's margin narrows at very small caches and\n\

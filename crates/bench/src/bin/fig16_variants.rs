@@ -8,8 +8,14 @@ fn main() {
     banner("Fig 16: GCN variants");
     let cfg = experiment_config();
     let datasets = selected_datasets();
-    println!("{}", fig16_variants(&cfg, &datasets, GcnVariant::GinConv { eps: 0.0 }));
-    println!("{}", fig16_variants(&cfg, &datasets, GcnVariant::GraphSage { sample: 8 }));
+    println!(
+        "{}",
+        fig16_variants(&cfg, &datasets, GcnVariant::GinConv { eps: 0.0 })
+    );
+    println!(
+        "{}",
+        fig16_variants(&cfg, &datasets, GcnVariant::GraphSage { sample: 8 })
+    );
     println!(
         "Paper shape: GINConv (no edge weights → feature traffic dominates more)\n\
          slightly raises SGCN's edge to 1.69×; GraphSAGE's edge sampling shrinks\n\

@@ -8,7 +8,10 @@ fn main() {
     let hw = HwConfig::default();
     let scaled = experiment_config().hw();
     println!("Accelerator engine");
-    println!("  frequency            : {} GHz", hw.frequency_hz as f64 / 1e9);
+    println!(
+        "  frequency            : {} GHz",
+        hw.frequency_hz as f64 / 1e9
+    );
     println!(
         "  combination          : {}× {}x{} systolic array",
         hw.combination_engines, hw.systolic.rows, hw.systolic.cols

@@ -19,7 +19,9 @@ pub fn experiment_config() -> ExperimentConfig {
 
 /// Whether `SGCN_QUICK=1` is set.
 pub fn quick_mode() -> bool {
-    std::env::var("SGCN_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SGCN_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The nine evaluation datasets in the paper's order.
@@ -41,7 +43,114 @@ pub fn banner(what: &str) {
     println!("=== SGCN reproduction — {what} ===");
     println!(
         "mode: {}",
-        if quick_mode() { "quick (SGCN_QUICK=1)" } else { "paper-scale" }
+        if quick_mode() {
+            "quick (SGCN_QUICK=1)"
+        } else {
+            "paper-scale"
+        }
     );
     println!();
+}
+
+/// Renders every table/figure of the evaluation into one string — the
+/// body of the `all_experiments` binary, callable by the `bench_sim`
+/// timing harness. The output is deterministic (bit-identical across
+/// thread counts and cache engines), so the harness also asserts the
+/// naive and fast paths render identical suites.
+pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) -> String {
+    use sgcn::experiments as exp;
+    use sgcn_model::GcnVariant;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let depths: &[usize] = if quick {
+        &[1, 3, 5, 10]
+    } else {
+        &[1, 3, 5, 10, 28, 56, 112]
+    };
+    writeln!(out, "{}", exp::fig01_sparsity_vs_layers(cfg, depths)).unwrap();
+    writeln!(out, "{}", exp::fig02_per_layer_sparsity(cfg)).unwrap();
+    let (traffic, speedup) = exp::fig03_format_comparison(cfg, datasets);
+    writeln!(out, "{traffic}").unwrap();
+    writeln!(out, "{speedup}").unwrap();
+    writeln!(out, "{}", exp::table02_datasets(cfg)).unwrap();
+    writeln!(out, "{}", exp::fig11_performance(cfg, datasets)).unwrap();
+    writeln!(out, "{}", exp::fig12_ablation(cfg, datasets)).unwrap();
+    writeln!(out, "{}", exp::fig13_energy(cfg, datasets)).unwrap();
+    writeln!(
+        out,
+        "{}",
+        exp::fig14_memory_breakdown(cfg, DatasetId::Reddit)
+    )
+    .unwrap();
+    let sens_depths: &[usize] = if quick { &[4, 8] } else { &[7, 14, 28, 56] };
+    writeln!(out, "{}", exp::fig15a_layer_sensitivity(cfg, sens_depths)).unwrap();
+    let base = cfg.cache_kib;
+    // Cache sweep on a representative subset (CR/PM/GH) to bound runtime.
+    let cache_datasets: Vec<_> = if quick {
+        datasets.to_vec()
+    } else {
+        vec![DatasetId::Cora, DatasetId::PubMed, DatasetId::Github]
+    };
+    writeln!(
+        out,
+        "{}",
+        exp::fig15b_cache_sensitivity(
+            cfg,
+            &[base / 2, base, base * 2, base * 4, base * 8],
+            &cache_datasets
+        )
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}",
+        exp::fig16_variants(cfg, datasets, GcnVariant::GinConv { eps: 0.0 })
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}",
+        exp::fig16_variants(cfg, datasets, GcnVariant::GraphSage { sample: 8 })
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}",
+        exp::fig17_slice_sensitivity(cfg, &[32, 64, 96, 128, 256], datasets)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}",
+        exp::fig18_scalability(cfg, &[1, 2, 4, 8, 16, 32], DatasetId::Reddit)
+    )
+    .unwrap();
+    let pts: Vec<u32> = if quick {
+        vec![10, 50, 90]
+    } else {
+        (1..=19).map(|i| i * 5).collect()
+    };
+    writeln!(
+        out,
+        "{}",
+        exp::fig19_sparsity_sweep(cfg, &pts, DatasetId::PubMed)
+    )
+    .unwrap();
+
+    // Design-choice ablations (DESIGN.md) on a representative subset.
+    let abl: Vec<_> = if quick {
+        datasets.to_vec()
+    } else {
+        vec![DatasetId::Cora, DatasetId::PubMed, DatasetId::Github]
+    };
+    writeln!(out, "{}", exp::ablation_beicsr_design(cfg, &abl)).unwrap();
+    writeln!(
+        out,
+        "{}",
+        exp::ablation_sac_strip(cfg, &[8, 16, 32, 64, 128], &abl)
+    )
+    .unwrap();
+    writeln!(out, "{}", exp::ablation_cache_policy(cfg, &abl)).unwrap();
+    out
 }

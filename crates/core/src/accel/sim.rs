@@ -12,11 +12,10 @@
 use std::collections::HashSet;
 
 use sgcn_engines::{two_stage_pipeline, SystolicArray};
-use sgcn_formats::{
-    Beicsr, ColRange, CsrFeatures, DenseMatrix, FeatureFormat, Span,
-};
+use sgcn_formats::{Beicsr, ColRange, CsrFeatures, DenseMatrix, FeatureFormat, Span};
 use sgcn_graph::reorder::{islandize, top_degree_vertices};
 use sgcn_graph::{CsrGraph, Tiling};
+use sgcn_mem::CacheEngine;
 use sgcn_mem::{EnergyModel, MemorySystem, Traffic};
 
 use crate::accel::{AccelModel, FeatureStorage, PhaseOrder, ReorderPolicy, TilingPolicy};
@@ -41,6 +40,78 @@ const DST_TILE_ROWS: usize = 1024;
 
 /// Chunk size used to pipeline the column-product path.
 const COLUMN_CHUNK: usize = 256;
+
+/// Dense bit-set over vertex ids — constant-time membership for the
+/// DAVC pinned/loaded sets (`HashSet`'s per-lookup hashing dominated the
+/// EnGN aggregation sweep).
+struct VertexSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl VertexSet {
+    fn new(vertices: usize) -> Self {
+        VertexSet {
+            words: vec![0; vertices.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        (self.words[v as usize / 64] >> (v % 64)) & 1 == 1
+    }
+
+    /// Inserts `v`; returns `true` if it was newly added.
+    fn insert(&mut self, v: u32) -> bool {
+        let (w, b) = (v as usize / 64, v % 64);
+        let fresh = (self.words[w] >> b) & 1 == 0;
+        self.words[w] |= 1 << b;
+        self.count += fresh as usize;
+        fresh
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the contained vertex ids in ascending order.
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| (word >> b) & 1 == 1)
+                .map(move |b| (w * 64 + b) as u32)
+        })
+    }
+}
+
+/// `ceil(work / lanes)` with the divide precomputed to a shift when the
+/// lane count is a power of two — this runs once per (edge, slice).
+/// Deliberately separate from `sgcn_mem`'s crate-private `FastDiv`: that
+/// helper is floor div/rem over `u64` addresses, this is ceiling
+/// division over `usize` work counts.
+#[derive(Clone, Copy)]
+struct LaneDiv {
+    lanes: usize,
+    shift: Option<u32>,
+}
+
+impl LaneDiv {
+    fn new(lanes: usize) -> Self {
+        LaneDiv {
+            lanes,
+            shift: lanes.is_power_of_two().then(|| lanes.trailing_zeros()),
+        }
+    }
+
+    #[inline]
+    fn div_ceil(self, work: usize) -> usize {
+        match self.shift {
+            Some(s) => (work + self.lanes - 1) >> s,
+            None => work.div_ceil(self.lanes),
+        }
+    }
+}
 
 struct LayerTally {
     agg_cycles: u64,
@@ -73,7 +144,7 @@ fn run_inner(
     // pinned high-degree vertices.
     let mut cache_cfg = hw.cache;
     let width = workload.network.width;
-    let mut pinned: HashSet<u32> = HashSet::new();
+    let mut pinned = VertexSet::new(graph.num_vertices());
     if model.davc_fraction > 0.0 {
         let set_bytes = cache_cfg.ways as u64 * cache_cfg.line_bytes;
         let keep = ((cache_cfg.capacity_bytes as f64 * (1.0 - model.davc_fraction)) as u64
@@ -83,10 +154,12 @@ fn run_inner(
         let davc_bytes = cache_cfg.capacity_bytes - keep;
         cache_cfg.capacity_bytes = keep;
         let rows = (davc_bytes / (width as u64 * 4)).max(1) as usize;
-        pinned = top_degree_vertices(graph, rows).into_iter().collect();
+        for v in top_degree_vertices(graph, rows) {
+            pinned.insert(v);
+        }
     }
 
-    let mut mem = MemorySystem::new(cache_cfg, hw.dram);
+    let mut mem = MemorySystem::with_engine(cache_cfg, hw.dram, hw.cache_engine);
     let systolic = SystolicArray::new(hw.systolic);
     let energy_model = EnergyModel::default();
 
@@ -109,12 +182,28 @@ fn run_inner(
         } else {
             FEATURE_B_BASE
         };
-        let out_base = if l % 2 == 0 { FEATURE_A_BASE } else { FEATURE_B_BASE };
+        let out_base = if l % 2 == 0 {
+            FEATURE_A_BASE
+        } else {
+            FEATURE_B_BASE
+        };
 
         let mem_before = mem.elapsed_dram_cycles();
         let tally = simulate_layer(
-            model, workload, hw, graph, &systolic, &mut mem, &pinned, &mut davc_hits, l, x_in,
-            x_out, in_base, out_base, format_override,
+            model,
+            workload,
+            hw,
+            graph,
+            &systolic,
+            &mut mem,
+            &pinned,
+            &mut davc_hits,
+            l,
+            x_in,
+            x_out,
+            in_base,
+            out_base,
+            format_override,
         );
         let mem_delta = mem.elapsed_dram_cycles() - mem_before;
 
@@ -270,7 +359,7 @@ fn simulate_layer(
     graph: &CsrGraph,
     systolic: &SystolicArray,
     mem: &mut MemorySystem,
-    pinned: &HashSet<u32>,
+    pinned: &VertexSet,
     davc_hits: &mut u64,
     layer: usize,
     x_in: &DenseMatrix,
@@ -281,6 +370,14 @@ fn simulate_layer(
 ) -> LayerTally {
     let w_in = x_in.cols();
     let w_out = x_out.cols();
+    // The naive baseline replays the seed's per-bit encoder.
+    let encode_beicsr = |m: &DenseMatrix, cfg| {
+        if hw.is_naive() {
+            Beicsr::encode_reference(m, cfg)
+        } else {
+            Beicsr::encode(m, cfg)
+        }
+    };
 
     // Weights stream once per layer (they fit on chip / in cache).
     mem.read(
@@ -293,8 +390,7 @@ fn simulate_layer(
     // §V-F/§VII-B: the first-layer combination moves onto the sparse
     // aggregator only when the input is *extremely* sparse (one-hot-style,
     // NELL's 99.9%) — otherwise the systolic array's far higher peak wins.
-    let sparse_input_layer =
-        layer == 0 && model.sparse_first_layer && x_in.sparsity() > 0.98;
+    let sparse_input_layer = layer == 0 && model.sparse_first_layer && x_in.sparsity() > 0.98;
     let in_fmt = if sparse_input_layer {
         LayerFormat::Csr(CsrFeatures::encode(x_in))
     } else if let (Some(kind), true) = (format_override, layer > 0) {
@@ -306,7 +402,7 @@ fn simulate_layer(
             // baselines (they do not compress features).
             (_, FeatureStorage::Dense) => LayerFormat::Dense(x_in),
             (0, FeatureStorage::Beicsr(_)) => LayerFormat::Dense(x_in),
-            (_, FeatureStorage::Beicsr(cfg)) => LayerFormat::Beicsr(Beicsr::encode(x_in, cfg)),
+            (_, FeatureStorage::Beicsr(cfg)) => LayerFormat::Beicsr(encode_beicsr(x_in, cfg)),
         }
     };
     let out_fmt = if let Some(kind) = format_override {
@@ -314,7 +410,7 @@ fn simulate_layer(
     } else {
         match model.storage {
             FeatureStorage::Dense => LayerFormat::Dense(x_out),
-            FeatureStorage::Beicsr(cfg) => LayerFormat::Beicsr(Beicsr::encode(x_out, cfg)),
+            FeatureStorage::Beicsr(cfg) => LayerFormat::Beicsr(encode_beicsr(x_out, cfg)),
         }
     };
 
@@ -342,19 +438,46 @@ fn simulate_layer(
             w_in, w_out, in_base, out_base,
         ),
         PhaseOrder::CombFirst => comb_first_layer(
-            model, workload, hw, graph, systolic, mem, pinned, davc_hits, &in_fmt, &out_fmt, x_in,
-            w_in, w_out, in_base, out_base, sparse_input_layer,
+            model,
+            workload,
+            hw,
+            graph,
+            systolic,
+            mem,
+            pinned,
+            davc_hits,
+            &in_fmt,
+            &out_fmt,
+            x_in,
+            w_in,
+            w_out,
+            in_base,
+            out_base,
+            sparse_input_layer,
         ),
     }
 }
 
+/// AWB-GCN's on-chip partial-sum accumulation banks, modelled with
+/// whichever cache implementation the run selects (both are
+/// stats-identical; `List` keeps the naive baseline faithful end to end).
+enum PsumBanks {
+    Flat(sgcn_mem::Cache),
+    List(sgcn_mem::ListCache),
+}
+
+impl PsumBanks {
+    #[inline]
+    fn access(&mut self, addr: u64) -> bool {
+        match self {
+            PsumBanks::Flat(c) => c.access(addr),
+            PsumBanks::List(c) => c.access(addr),
+        }
+    }
+}
+
 /// Source-tile height under the model's tiling policy.
-fn src_tile_rows(
-    model: &AccelModel,
-    hw: &HwConfig,
-    vertices: usize,
-    slice_bytes: u64,
-) -> usize {
+fn src_tile_rows(model: &AccelModel, hw: &HwConfig, vertices: usize, slice_bytes: u64) -> usize {
     match model.tiling {
         TilingPolicy::None => vertices.max(1),
         TilingPolicy::CacheSized {
@@ -396,7 +519,7 @@ fn aggregation_sweep(
     hw: &HwConfig,
     graph: &CsrGraph,
     mem: &mut MemorySystem,
-    pinned: &HashSet<u32>,
+    pinned: &VertexSet,
     davc_hits: &mut u64,
     fmt: &LayerFormat<'_>,
     feature_base: u64,
@@ -417,15 +540,34 @@ fn aggregation_sweep(
     let tiling = Tiling::new(vertices, DST_TILE_ROWS.min(vertices.max(1)), src_rows);
     let nslices = width.div_ceil(slice_w);
 
+    let naive = hw.is_naive();
+    let has_pinned = !pinned.is_empty();
+    let lane_div = LaneDiv::new(hw.simd_lanes);
+    // The naive baseline replays the seed's hashed pinned-set membership
+    // (a SipHash per (edge, slice), even when the set is empty).
+    let hashed_pinned: HashSet<u32> = if naive {
+        pinned.iter().collect()
+    } else {
+        HashSet::new()
+    };
+    let mut hashed_loaded: HashSet<u32> = HashSet::new();
     let mut per_tile_cycles: Vec<u64> = Vec::with_capacity(tiling.dst_tiles());
     let mut macs = 0u64;
     let mut lane_cycles_total = 0u64;
-    let mut davc_loaded: HashSet<u32> = HashSet::new();
+    let mut davc_loaded = VertexSet::new(vertices);
     let mut topo_offset = 0u64;
+    // Per-destination neighbor windows, hoisted out of the slice loop and
+    // reused across all `nslices` passes of one tile pair.
+    let mut ordered_neighbors: Vec<&[u32]> = Vec::new();
 
     for di in 0..tiling.dst_tiles() {
         let dst_range = tiling.dst_range(di);
-        let order = tile_order(dst_range, hw.aggregation_engines, model.sac, model.strip_height);
+        let order = tile_order(
+            dst_range,
+            hw.aggregation_engines,
+            model.sac,
+            model.strip_height,
+        );
         let mut tile_lane_cycles = 0u64;
         for sj in 0..tiling.src_tiles() {
             let src_range = tiling.src_range(sj);
@@ -438,38 +580,82 @@ fn aggregation_sweep(
             mem.read_uncached(TOPOLOGY_BASE + topo_offset, topo_bytes, Traffic::Topology);
             topo_offset += topo_bytes.div_ceil(64) * 64;
 
+            // The neighbor window (and GraphSAGE's sampled prefix) is a
+            // function of (dst, src tile) only. The fast path computes it
+            // once per tile pair; naive mode replays the seed's
+            // binary-search-per-(slice, dst) behaviour for the harness
+            // baseline — both visit the identical window.
+            let window = |dst: u32| -> &[u32] {
+                let (neigh, _) = graph.neighbors_in(dst as usize, src_range);
+                match sample_cap {
+                    Some(cap) => {
+                        let deg = graph.degree(dst as usize).max(1);
+                        let keep = if deg <= cap {
+                            neigh.len()
+                        } else {
+                            (neigh.len() * cap).div_ceil(deg).min(neigh.len())
+                        };
+                        &neigh[..keep]
+                    }
+                    None => neigh,
+                }
+            };
+            ordered_neighbors.clear();
+            if !naive {
+                ordered_neighbors.extend(order.iter().map(|&dst| window(dst)));
+            }
+
             for s in 0..nslices {
                 let range = ColRange::new(s * slice_w, ((s + 1) * slice_w).min(width));
-                for &dst in &order {
-                    let (neigh, _) = graph.neighbors_in(dst as usize, src_range);
-                    let neigh = match sample_cap {
-                        Some(cap) => {
-                            let deg = graph.degree(dst as usize).max(1);
-                            let keep = if deg <= cap {
-                                neigh.len()
-                            } else {
-                                (neigh.len() * cap).div_ceil(deg).min(neigh.len())
-                            };
-                            &neigh[..keep]
-                        }
-                        None => neigh,
+                for (k, &dst) in order.iter().enumerate() {
+                    let neigh = if naive {
+                        window(dst)
+                    } else {
+                        ordered_neighbors[k]
                     };
                     for &src in neigh {
                         let work = fmt.lane_work(src as usize, range);
                         macs += work as u64;
-                        tile_lane_cycles += (work.div_ceil(hw.simd_lanes) as u64).max(1);
-                        if pinned.contains(&src) {
+                        let lanes = if naive {
+                            work.div_ceil(hw.simd_lanes)
+                        } else {
+                            lane_div.div_ceil(work)
+                        };
+                        tile_lane_cycles += (lanes as u64).max(1);
+                        let is_pinned = if naive {
+                            hashed_pinned.contains(&src)
+                        } else {
+                            has_pinned && pinned.contains(src)
+                        };
+                        if is_pinned {
                             *davc_hits += 1;
-                            if davc_loaded.insert(src) {
-                                for span in fmt.as_format().slice_spans(src as usize, range) {
-                                    read_span(mem, feature_base, span, Traffic::FeatureRead);
-                                }
+                            let fresh = if naive {
+                                hashed_loaded.insert(src)
+                            } else {
+                                davc_loaded.insert(src)
+                            };
+                            if fresh {
+                                read_slice_spans(
+                                    mem,
+                                    fmt.as_format(),
+                                    src as usize,
+                                    range,
+                                    feature_base,
+                                    Traffic::FeatureRead,
+                                    naive,
+                                );
                             }
                             continue;
                         }
-                        for span in fmt.as_format().slice_spans(src as usize, range) {
-                            read_span(mem, feature_base, span, Traffic::FeatureRead);
-                        }
+                        read_slice_spans(
+                            mem,
+                            fmt.as_format(),
+                            src as usize,
+                            range,
+                            feature_base,
+                            Traffic::FeatureRead,
+                            naive,
+                        );
                     }
                 }
             }
@@ -485,11 +671,82 @@ fn aggregation_sweep(
 }
 
 fn read_span(mem: &mut MemorySystem, base: u64, span: Span, kind: Traffic) {
-    mem.read(base + span.offset, u64::from(span.bytes), kind);
+    mem.read_span(base + span.offset, u64::from(span.bytes), kind);
 }
 
 fn write_span(mem: &mut MemorySystem, base: u64, span: Span, kind: Traffic) {
-    mem.write(base + span.offset, u64::from(span.bytes), kind);
+    mem.write_span(base + span.offset, u64::from(span.bytes), kind);
+}
+
+/// Reads the spans of a column window of `row` through the memory system.
+///
+/// The fast path visits spans in place ([`FeatureFormat::for_each_slice_span`]);
+/// naive mode replays the original allocating `slice_spans` + per-line
+/// `read` path so the perf harness has a faithful baseline. Both issue the
+/// identical span sequence, so every counter matches bit for bit.
+#[inline]
+fn read_slice_spans(
+    mem: &mut MemorySystem,
+    fmt: &dyn FeatureFormat,
+    row: usize,
+    range: ColRange,
+    base: u64,
+    kind: Traffic,
+    naive: bool,
+) {
+    if naive {
+        for span in fmt.slice_spans(row, range) {
+            read_span(mem, base, span, kind);
+        }
+    } else {
+        fmt.for_each_slice_span(row, range, &mut |span| {
+            mem.read_span(base + span.offset, u64::from(span.bytes), kind);
+        });
+    }
+}
+
+/// Reads the spans of a full row (see [`read_slice_spans`] for the
+/// naive/fast split).
+#[inline]
+fn read_row_spans(
+    mem: &mut MemorySystem,
+    fmt: &dyn FeatureFormat,
+    row: usize,
+    base: u64,
+    kind: Traffic,
+    naive: bool,
+) {
+    if naive {
+        for span in fmt.row_spans(row) {
+            read_span(mem, base, span, kind);
+        }
+    } else {
+        fmt.for_each_row_span(row, &mut |span| {
+            mem.read_span(base + span.offset, u64::from(span.bytes), kind);
+        });
+    }
+}
+
+/// Writes a row's spans back (see [`read_slice_spans`] for the naive/fast
+/// split).
+#[inline]
+fn write_row_spans(
+    mem: &mut MemorySystem,
+    fmt: &dyn FeatureFormat,
+    row: usize,
+    base: u64,
+    kind: Traffic,
+    naive: bool,
+) {
+    if naive {
+        for span in fmt.write_spans(row) {
+            write_span(mem, base, span, kind);
+        }
+    } else {
+        fmt.for_each_write_span(row, &mut |span| {
+            mem.write_span(base + span.offset, u64::from(span.bytes), kind);
+        });
+    }
 }
 
 /// Aggregation-first layer (GCNAX intermediate layers, HyGCN, SGCN):
@@ -503,7 +760,7 @@ fn agg_first_layer(
     graph: &CsrGraph,
     systolic: &SystolicArray,
     mem: &mut MemorySystem,
-    pinned: &HashSet<u32>,
+    pinned: &VertexSet,
     davc_hits: &mut u64,
     in_fmt: &LayerFormat<'_>,
     out_fmt: &LayerFormat<'_>,
@@ -515,7 +772,15 @@ fn agg_first_layer(
 ) -> LayerTally {
     let _ = workload;
     let (per_tile_agg, agg_cycles, mut macs) = aggregation_sweep(
-        model, hw, graph, mem, pinned, davc_hits, in_fmt, in_base, w_in,
+        model,
+        hw,
+        graph,
+        mem,
+        pinned,
+        davc_hits,
+        in_fmt,
+        in_base,
+        w_in,
         workload.network.variant,
     );
     let _ = x_in;
@@ -533,9 +798,14 @@ fn agg_first_layer(
         comb_cycles += comb;
         pairs.push((agg, comb));
         for r in ti * rows_per_tile..(ti * rows_per_tile + rows).min(vertices) {
-            for span in out_fmt.as_format().write_spans(r) {
-                write_span(mem, out_base, span, Traffic::FeatureWrite);
-            }
+            write_row_spans(
+                mem,
+                out_fmt.as_format(),
+                r,
+                out_base,
+                Traffic::FeatureWrite,
+                hw.is_naive(),
+            );
         }
     }
     LayerTally {
@@ -556,7 +826,7 @@ fn comb_first_layer(
     graph: &CsrGraph,
     systolic: &SystolicArray,
     mem: &mut MemorySystem,
-    pinned: &HashSet<u32>,
+    pinned: &VertexSet,
     davc_hits: &mut u64,
     in_fmt: &LayerFormat<'_>,
     out_fmt: &LayerFormat<'_>,
@@ -568,6 +838,7 @@ fn comb_first_layer(
     sparse_input: bool,
 ) -> LayerTally {
     let vertices = graph.num_vertices();
+    let naive = hw.is_naive();
     let mut macs = 0u64;
     let mut comb_cycles = 0u64;
 
@@ -575,20 +846,26 @@ fn comb_first_layer(
     // to scratch.
     let y = DenseMatrix::zeros(vertices, w_out);
     for r in 0..vertices {
-        for span in in_fmt.as_format().row_spans(r) {
-            read_span(mem, in_base, span, Traffic::FeatureRead);
-        }
+        read_row_spans(
+            mem,
+            in_fmt.as_format(),
+            r,
+            in_base,
+            Traffic::FeatureRead,
+            naive,
+        );
     }
     if sparse_input {
         // SGCN's §V-F option: the first-layer combination runs on the
         // sparse aggregator over CSR input — work ∝ input non-zeros.
         let nnz = x_in.count_nonzeros() as u64;
         macs += nnz * w_out as u64;
-        comb_cycles += (nnz * w_out as u64)
-            / (hw.simd_lanes as u64 * hw.aggregation_engines as u64).max(1);
+        comb_cycles +=
+            (nnz * w_out as u64) / (hw.simd_lanes as u64 * hw.aggregation_engines as u64).max(1);
     } else {
         let dense_macs = SystolicArray::gemm_macs(vertices, w_in, w_out);
-        let mut cycles = systolic.gemm_cycles(vertices, w_in, w_out) / hw.combination_engines as u64;
+        let mut cycles =
+            systolic.gemm_cycles(vertices, w_in, w_out) / hw.combination_engines as u64;
         if model.comb_zero_skip {
             let density = (1.0 - x_in.sparsity()).clamp(0.02, 1.0);
             cycles = (cycles as f64 * density) as u64;
@@ -599,24 +876,35 @@ fn comb_first_layer(
         comb_cycles += cycles;
     }
     for r in 0..vertices {
-        for span in y.write_spans(r) {
-            write_span(mem, SCRATCH_BASE, span, Traffic::FeatureWrite);
-        }
+        write_row_spans(mem, &y, r, SCRATCH_BASE, Traffic::FeatureWrite, naive);
     }
 
     // Aggregation pass over the dense scratch Y.
     let y_fmt = LayerFormat::Dense(&y);
     let (_, agg_cycles, agg_macs) = aggregation_sweep(
-        model, hw, graph, mem, pinned, davc_hits, &y_fmt, SCRATCH_BASE, w_out,
+        model,
+        hw,
+        graph,
+        mem,
+        pinned,
+        davc_hits,
+        &y_fmt,
+        SCRATCH_BASE,
+        w_out,
         workload.network.variant,
     );
     macs += agg_macs;
 
     // Activated output written back in the accelerator's storage format.
     for r in 0..vertices {
-        for span in out_fmt.as_format().write_spans(r) {
-            write_span(mem, out_base, span, Traffic::FeatureWrite);
-        }
+        write_row_spans(
+            mem,
+            out_fmt.as_format(),
+            r,
+            out_base,
+            Traffic::FeatureWrite,
+            naive,
+        );
     }
     let _ = workload;
 
@@ -661,10 +949,16 @@ fn column_product_layer(
 
     // Combination: stream inputs once (dense storage — AWB keeps features
     // dense, §VI-B), zero-skipped compute.
+    let naive = hw.is_naive();
     for r in 0..vertices {
-        for span in in_fmt.as_format().row_spans(r) {
-            read_span(mem, in_base, span, Traffic::FeatureRead);
-        }
+        read_row_spans(
+            mem,
+            in_fmt.as_format(),
+            r,
+            in_base,
+            Traffic::FeatureRead,
+            naive,
+        );
     }
     let density = (1.0 - x_in.sparsity()).clamp(0.02, 1.0);
     let dense_macs = SystolicArray::gemm_macs(vertices, w_in, w_out);
@@ -682,10 +976,15 @@ fn column_product_layer(
     // stages pipeline. Partial rows live in AWB-GCN's distributed on-chip
     // accumulation banks (its task-queue PEs hold psums locally) — sized
     // well above the shared cache — and spill to DRAM only on overflow.
-    let mut psum_banks = sgcn_mem::Cache::new(sgcn_mem::CacheConfig {
+    let psum_config = sgcn_mem::CacheConfig {
         capacity_bytes: hw.cache.capacity_bytes * 16,
         ..hw.cache
-    });
+    };
+    let mut psum_banks = match hw.cache_engine {
+        CacheEngine::Flat => PsumBanks::Flat(sgcn_mem::Cache::new(psum_config)),
+        CacheEngine::List => PsumBanks::List(sgcn_mem::ListCache::new(psum_config)),
+    };
+    let lane_cycles_per_row = (LaneDiv::new(hw.simd_lanes).div_ceil(w_out) as u64).max(1);
     let mut lane_cycles = 0u64;
     let mut pairs: Vec<(u64, u64)> = Vec::new();
     let chunks = vertices.div_ceil(COLUMN_CHUNK).max(1);
@@ -705,7 +1004,7 @@ fn column_product_layer(
                 }
             }
             macs += w_out as u64;
-            chunk_lane += (w_out.div_ceil(hw.simd_lanes) as u64).max(1);
+            chunk_lane += lane_cycles_per_row;
         }
         if (src + 1) % COLUMN_CHUNK == 0 || src + 1 == vertices {
             lane_cycles += chunk_lane;
@@ -717,7 +1016,11 @@ fn column_product_layer(
 
     // Final activated output (dense) — the partial rows become X^(l+1).
     for r in 0..vertices {
-        mem.write(out_base + r as u64 * row_bytes, row_bytes, Traffic::FeatureWrite);
+        mem.write(
+            out_base + r as u64 * row_bytes,
+            row_bytes,
+            Traffic::FeatureWrite,
+        );
     }
     let _ = layer;
 
@@ -737,7 +1040,12 @@ mod tests {
     use sgcn_model::NetworkConfig;
 
     fn tiny_workload(id: DatasetId) -> Workload {
-        Workload::build(id, SynthScale::tiny(), NetworkConfig::deep_residual(4, 64), 11)
+        Workload::build(
+            id,
+            SynthScale::tiny(),
+            NetworkConfig::deep_residual(4, 64),
+            11,
+        )
     }
 
     #[test]
@@ -845,7 +1153,10 @@ mod tests {
         assert_eq!(r.layers.len(), wl.network.layers);
         assert_eq!(r.layers.iter().map(|l| l.cycles).sum::<u64>(), r.cycles);
         assert_eq!(r.layers.iter().map(|l| l.macs).sum::<u64>(), r.macs);
-        assert_eq!(r.layers.iter().map(|l| l.mem_cycles).sum::<u64>(), r.mem_cycles);
+        assert_eq!(
+            r.layers.iter().map(|l| l.mem_cycles).sum::<u64>(),
+            r.mem_cycles
+        );
         // Layer indices are 0..L in order.
         for (i, l) in r.layers.iter().enumerate() {
             assert_eq!(l.layer, i);

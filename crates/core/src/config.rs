@@ -1,7 +1,7 @@
 //! Hardware configuration (the paper's Table III).
 
 use sgcn_engines::SystolicConfig;
-use sgcn_mem::{CacheConfig, DramConfig, HbmGeneration};
+use sgcn_mem::{CacheConfig, CacheEngine, DramConfig, HbmGeneration};
 
 /// The evaluated accelerator platform.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,6 +21,12 @@ pub struct HwConfig {
     pub cache: CacheConfig,
     /// Off-chip memory (Table III: HBM2, 256 GB/s, 8 channels, 4×4 banks).
     pub dram: DramConfig,
+    /// Simulator implementation knob (not a hardware parameter): which
+    /// cache model the memory system drives. `Flat` is the allocation-free
+    /// fast path; `List` replays the original naive per-line path for the
+    /// perf harness and equivalence tests. Both yield bit-identical
+    /// [`crate::SimReport`]s.
+    pub cache_engine: CacheEngine,
 }
 
 impl Default for HwConfig {
@@ -33,6 +39,7 @@ impl Default for HwConfig {
             systolic: SystolicConfig::default(),
             cache: CacheConfig::default(),
             dram: DramConfig::hbm2(),
+            cache_engine: CacheEngine::from_env(),
         }
     }
 }
@@ -63,6 +70,18 @@ impl HwConfig {
     pub fn with_cache_policy(mut self, policy: sgcn_mem::ReplacementPolicy) -> Self {
         self.cache.policy = policy;
         self
+    }
+
+    /// Selects the simulator's cache engine (fast flat path vs the naive
+    /// reference path; see [`CacheEngine`]).
+    pub fn with_cache_engine(mut self, engine: CacheEngine) -> Self {
+        self.cache_engine = engine;
+        self
+    }
+
+    /// Whether this configuration replays the naive reference path.
+    pub fn is_naive(&self) -> bool {
+        matches!(self.cache_engine, CacheEngine::List)
     }
 
     /// Peak aggregation MACs per cycle across engines.

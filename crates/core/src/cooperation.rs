@@ -61,7 +61,9 @@ pub fn sac_split(range: VertexRange, engines: usize, strip_height: usize) -> Vec
     while start < range.end {
         let end = (start + strip_height).min(range.end);
         let engine = strip_idx % engines;
-        schedules[engine].rows.extend((start..end).map(|v| v as u32));
+        schedules[engine]
+            .rows
+            .extend((start..end).map(|v| v as u32));
         strip_idx += 1;
         start = end;
     }
@@ -149,7 +151,9 @@ mod tests {
 
     #[test]
     fn merge_handles_uneven_lengths() {
-        let a = EngineSchedule { rows: vec![0, 1, 2] };
+        let a = EngineSchedule {
+            rows: vec![0, 1, 2],
+        };
         let b = EngineSchedule { rows: vec![10] };
         assert_eq!(merge_round_robin(&[a, b]), vec![0, 10, 1, 2]);
     }

@@ -3,6 +3,14 @@
 //! Every driver returns a [`Grid`] (row × column matrix of named values)
 //! that the `sgcn-bench` binaries print; tests assert the *shape* claims
 //! (who wins, roughly by how much) on scaled-down configurations.
+//!
+//! # Deterministic parallelism
+//!
+//! Every simulation a driver issues is a pure function of its
+//! `(model, workload, hw)` inputs, so the drivers fan independent
+//! `(dataset × model)` runs out over [`sgcn_par::par_map`] and fill the
+//! grid from the ordered result vector. Grids are **bit-identical** to a
+//! serial run at any thread count (`SGCN_THREADS=1` to force serial).
 
 use std::fmt;
 
@@ -10,8 +18,8 @@ use sgcn_formats::FormatKind;
 use sgcn_graph::datasets::{DatasetId, SynthScale};
 use sgcn_mem::{HbmGeneration, Traffic};
 use sgcn_model::{GcnVariant, NetworkConfig};
+use sgcn_par::par_map;
 
-use crate::accel::sim::run_format_study;
 use crate::accel::AccelModel;
 use crate::config::HwConfig;
 use crate::metrics::{GeoMean, SimReport};
@@ -74,10 +82,6 @@ impl ExperimentConfig {
     pub fn hw(&self) -> HwConfig {
         HwConfig::default().with_cache_kib(self.cache_kib)
     }
-
-    fn workload(&self, id: DatasetId, network: NetworkConfig) -> Workload {
-        Workload::build(id, self.scale, network, self.seed)
-    }
 }
 
 /// A named row × column matrix of experiment results.
@@ -111,12 +115,16 @@ impl Grid {
     ///
     /// Panics if either name is unknown.
     pub fn get(&self, row: &str, col: &str) -> f64 {
-        let r = self.rows.iter().position(|x| x == row).unwrap_or_else(|| {
-            panic!("unknown row {row:?}; have {:?}", self.rows)
-        });
-        let c = self.cols.iter().position(|x| x == col).unwrap_or_else(|| {
-            panic!("unknown col {col:?}; have {:?}", self.cols)
-        });
+        let r = self
+            .rows
+            .iter()
+            .position(|x| x == row)
+            .unwrap_or_else(|| panic!("unknown row {row:?}; have {:?}", self.rows));
+        let c = self
+            .cols
+            .iter()
+            .position(|x| x == col)
+            .unwrap_or_else(|| panic!("unknown col {col:?}; have {:?}", self.cols));
         self.values[r][c]
     }
 
@@ -143,14 +151,7 @@ impl Grid {
 impl fmt::Display for Grid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "## {}", self.title)?;
-        let w = self
-            .rows
-            .iter()
-            .map(|r| r.len())
-            .max()
-            .unwrap_or(4)
-            .max(4)
-            + 2;
+        let w = self.rows.iter().map(|r| r.len()).max().unwrap_or(4).max(4) + 2;
         write!(f, "{:w$}", "")?;
         for c in &self.cols {
             write!(f, "{c:>10}")?;
@@ -171,6 +172,173 @@ fn dataset_cols(datasets: &[DatasetId]) -> Vec<String> {
     datasets.iter().map(|d| d.abbrev().to_string()).collect()
 }
 
+/// Workload and report memoization for the fast driver path.
+///
+/// The figures re-use the same `(dataset, network, seed)` workloads and
+/// re-simulate the same `(model, workload, hw)` points many times across
+/// the suite (the Fig. 12 baseline is Fig. 11's GCNAX, Fig. 13's lineup
+/// is a subset of Fig. 11's, the Fig. 15b sweep revisits the default
+/// cache size, …). Both constructions are pure functions of their
+/// inputs, so memoizing them returns **bit-identical** values; the keys
+/// are the `Debug` rendering of every input (f64s print
+/// shortest-roundtrip, so distinct configs cannot collide). Naive mode
+/// (`SGCN_NAIVE=1`) bypasses every cache and rebuilds from scratch, like
+/// the original driver did.
+mod memo {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    use sgcn_formats::FormatKind;
+    use sgcn_graph::datasets::{DatasetId, SynthScale};
+    use sgcn_mem::CacheEngine;
+    use sgcn_model::NetworkConfig;
+
+    use crate::accel::sim::run_format_study;
+    use crate::accel::AccelModel;
+    use crate::config::HwConfig;
+    use crate::metrics::SimReport;
+    use crate::workload::Workload;
+
+    /// A memoized workload plus the key that identifies it.
+    #[derive(Clone)]
+    pub(super) struct CachedWorkload {
+        key: Arc<str>,
+        wl: Arc<Workload>,
+    }
+
+    impl std::ops::Deref for CachedWorkload {
+        type Target = Workload;
+        fn deref(&self) -> &Workload {
+            &self.wl
+        }
+    }
+
+    fn naive() -> bool {
+        matches!(CacheEngine::from_env(), CacheEngine::List)
+    }
+
+    static WORKLOADS: OnceLock<Mutex<HashMap<String, Arc<Workload>>>> = OnceLock::new();
+    static REPORTS: OnceLock<Mutex<HashMap<String, SimReport>>> = OnceLock::new();
+
+    /// Entry caps keep a paper-scale run's memory bounded. Workloads are
+    /// large (a full per-layer dense feature trace each), so past the cap
+    /// new ones are simply not cached — the early, cross-figure standard
+    /// workloads stay hot while sweep-specific variants are rebuilt on
+    /// demand, exactly like the original driver. Tune with
+    /// `SGCN_WORKLOAD_CACHE` (`0` disables workload caching).
+    const WORKLOAD_CAP: usize = 12;
+    const REPORT_CAP: usize = 8192;
+
+    fn workload_cap() -> usize {
+        std::env::var("SGCN_WORKLOAD_CACHE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(WORKLOAD_CAP)
+    }
+
+    /// Builds (or recalls) a workload.
+    pub(super) fn workload(
+        id: DatasetId,
+        scale: SynthScale,
+        network: NetworkConfig,
+        seed: u64,
+        uniform_sparsity: Option<f64>,
+    ) -> CachedWorkload {
+        let key = format!("{id:?}|{scale:?}|{network:?}|{seed}|{uniform_sparsity:?}");
+        let build = || match uniform_sparsity {
+            None => Workload::build(id, scale, network, seed),
+            Some(sp) => Workload::build_with_uniform_sparsity(id, scale, network, sp, seed),
+        };
+        if naive() {
+            return CachedWorkload {
+                key: key.as_str().into(),
+                wl: Arc::new(build()),
+            };
+        }
+        let map = WORKLOADS.get_or_init(Default::default);
+        if let Some(wl) = map.lock().expect("workload memo").get(&key) {
+            return CachedWorkload {
+                key: key.as_str().into(),
+                wl: Arc::clone(wl),
+            };
+        }
+        let wl = Arc::new(build());
+        let mut guard = map.lock().expect("workload memo");
+        if guard.len() < workload_cap() {
+            guard.insert(key.clone(), Arc::clone(&wl));
+        }
+        drop(guard);
+        CachedWorkload {
+            key: key.as_str().into(),
+            wl,
+        }
+    }
+
+    fn recall_or(key: String, run: impl FnOnce() -> SimReport, name: &'static str) -> SimReport {
+        let map = REPORTS.get_or_init(Default::default);
+        if let Some(r) = map.lock().expect("report memo").get(&key) {
+            // Only the display name can differ between callers of the
+            // same simulation point (Fig. 12 renames its baseline).
+            let mut r = r.clone();
+            r.accelerator = name;
+            return r;
+        }
+        let r = run();
+        let mut guard = map.lock().expect("report memo");
+        if guard.len() >= REPORT_CAP {
+            guard.clear();
+        }
+        guard.insert(key, r.clone());
+        r
+    }
+
+    /// Simulates (or recalls) one `(model, workload, hw)` point.
+    pub(super) fn simulate(model: &AccelModel, wl: &CachedWorkload, hw: &HwConfig) -> SimReport {
+        if hw.is_naive() {
+            return model.simulate(wl, hw);
+        }
+        let mut anon = model.clone();
+        anon.name = "";
+        recall_or(
+            format!("{}|{anon:?}|{hw:?}", wl.key),
+            || model.simulate(wl, hw),
+            model.name,
+        )
+    }
+
+    /// Runs (or recalls) one Fig. 3-style format study point.
+    pub(super) fn format_study(kind: FormatKind, wl: &CachedWorkload, hw: &HwConfig) -> SimReport {
+        if hw.is_naive() {
+            return run_format_study(kind, wl, hw);
+        }
+        recall_or(
+            format!("fmt|{kind:?}|{}|{hw:?}", wl.key),
+            || run_format_study(kind, wl, hw),
+            kind.label(),
+        )
+    }
+}
+
+use memo::CachedWorkload;
+
+/// Builds the standard workload for every dataset, in parallel (memoized
+/// across drivers on the fast path).
+fn build_workloads(
+    cfg: &ExperimentConfig,
+    datasets: &[DatasetId],
+    network: NetworkConfig,
+) -> Vec<CachedWorkload> {
+    par_map(datasets.to_vec(), |id| {
+        memo::workload(id, cfg.scale, network, cfg.seed, None)
+    })
+}
+
+/// The cross product `0..a × 0..b` in row-major order — the job list for
+/// a two-axis parallel sweep.
+fn cross(a: usize, b: usize) -> Vec<(usize, usize)> {
+    (0..a).flat_map(|i| (0..b).map(move |j| (i, j))).collect()
+}
+
 /// Fig. 1 / Fig. 2a-b: average intermediate sparsity of traditional vs
 /// modern (residual) GCNs across depths, and the per-layer trajectory.
 pub fn fig01_sparsity_vs_layers(cfg: &ExperimentConfig, depths: &[usize]) -> Grid {
@@ -182,18 +350,30 @@ pub fn fig01_sparsity_vs_layers(cfg: &ExperimentConfig, depths: &[usize]) -> Gri
     }
     let cols: Vec<String> = depths.iter().map(|d| format!("L{d}")).collect();
     let mut grid = Grid::new("Fig 1: avg intermediate sparsity (%) vs depth", cols, rows);
-    for id in datasets {
+    let per_dataset = par_map(datasets.to_vec(), |id| {
         let ds = sgcn_graph::datasets::Dataset::synthesize(
             id,
             cfg.scale,
             sgcn_graph::builder::Normalization::Symmetric,
         );
-        for &l in depths {
-            let modern: f64 =
-                (0..l).map(|i| ds.intermediate_sparsity(i, l)).sum::<f64>() / l as f64;
-            let trad: f64 =
-                (0..l).map(|i| ds.traditional_sparsity(i, l)).sum::<f64>() / l as f64;
-            grid.set(&format!("{} modern", id.abbrev()), &format!("L{l}"), modern * 100.0);
+        depths
+            .iter()
+            .map(|&l| {
+                let modern: f64 =
+                    (0..l).map(|i| ds.intermediate_sparsity(i, l)).sum::<f64>() / l as f64;
+                let trad: f64 =
+                    (0..l).map(|i| ds.traditional_sparsity(i, l)).sum::<f64>() / l as f64;
+                (modern, trad)
+            })
+            .collect::<Vec<_>>()
+    });
+    for (id, values) in datasets.iter().zip(&per_dataset) {
+        for (&l, &(modern, trad)) in depths.iter().zip(values) {
+            grid.set(
+                &format!("{} modern", id.abbrev()),
+                &format!("L{l}"),
+                modern * 100.0,
+            );
             grid.set(
                 &format!("{} traditional", id.abbrev()),
                 &format!("L{l}"),
@@ -208,24 +388,31 @@ pub fn fig01_sparsity_vs_layers(cfg: &ExperimentConfig, depths: &[usize]) -> Gri
 /// datasets.
 pub fn fig02_per_layer_sparsity(cfg: &ExperimentConfig) -> Grid {
     let cols: Vec<String> = (0..cfg.layers).map(|l| format!("{l}")).collect();
-    let rows: Vec<String> = DatasetId::ALL.iter().map(|d| d.abbrev().to_string()).collect();
+    let rows: Vec<String> = DatasetId::ALL
+        .iter()
+        .map(|d| d.abbrev().to_string())
+        .collect();
     let mut grid = Grid::new(
-        format!("Fig 2b: per-layer intermediate sparsity (%), {}-layer residual GCN", cfg.layers),
+        format!(
+            "Fig 2b: per-layer intermediate sparsity (%), {}-layer residual GCN",
+            cfg.layers
+        ),
         cols,
         rows,
     );
-    for id in DatasetId::ALL {
+    let per_dataset = par_map(DatasetId::ALL.to_vec(), |id| {
         let ds = sgcn_graph::datasets::Dataset::synthesize(
             id,
             cfg.scale,
             sgcn_graph::builder::Normalization::Symmetric,
         );
-        for l in 0..cfg.layers {
-            grid.set(
-                id.abbrev(),
-                &format!("{l}"),
-                ds.intermediate_sparsity(l, cfg.layers) * 100.0,
-            );
+        (0..cfg.layers)
+            .map(|l| ds.intermediate_sparsity(l, cfg.layers))
+            .collect::<Vec<_>>()
+    });
+    for (id, sparsities) in DatasetId::ALL.iter().zip(&per_dataset) {
+        for (l, &s) in sparsities.iter().enumerate() {
+            grid.set(id.abbrev(), &format!("{l}"), s * 100.0);
         }
     }
     grid
@@ -256,24 +443,33 @@ pub fn fig03_format_comparison(cfg: &ExperimentConfig, datasets: &[DatasetId]) -
         dataset_cols(datasets),
         row_names,
     );
-    for &id in datasets {
-        let wl = cfg.workload(id, cfg.network());
-        let dense = run_format_study(FormatKind::Dense, &wl, &hw);
-        for kind in formats {
-            let r = if kind == FormatKind::Dense {
-                dense.clone()
-            } else {
-                run_format_study(kind, &wl, &hw)
-            };
-            traffic.set(kind.label(), id.abbrev(), r.traffic_vs(&dense));
-            speedup.set(kind.label(), id.abbrev(), r.speedup_over(&dense));
+    // Per dataset: the five study formats plus the two SGCN variants, all
+    // independent given the workload.
+    let workloads = build_workloads(cfg, datasets, cfg.network());
+    let variants = formats.len() + 2;
+    let reports = par_map(cross(datasets.len(), variants), |(di, vi)| {
+        let wl = &workloads[di];
+        if vi < formats.len() {
+            memo::format_study(formats[vi], wl, &hw)
+        } else if vi == formats.len() {
+            memo::simulate(&AccelModel::sgcn_no_sac(), wl, &hw)
+        } else {
+            memo::simulate(&AccelModel::sgcn(), wl, &hw)
         }
-        let beicsr = AccelModel::sgcn_no_sac().simulate(&wl, &hw);
-        traffic.set("BEICSR", id.abbrev(), beicsr.traffic_vs(&dense));
-        speedup.set("BEICSR", id.abbrev(), beicsr.speedup_over(&dense));
-        let sac = AccelModel::sgcn().simulate(&wl, &hw);
-        traffic.set("BEICSR+SAC", id.abbrev(), sac.traffic_vs(&dense));
-        speedup.set("BEICSR+SAC", id.abbrev(), sac.speedup_over(&dense));
+    });
+    for (di, &id) in datasets.iter().enumerate() {
+        let block = &reports[di * variants..(di + 1) * variants];
+        let dense = &block[0];
+        for (fi, kind) in formats.iter().enumerate() {
+            traffic.set(kind.label(), id.abbrev(), block[fi].traffic_vs(dense));
+            speedup.set(kind.label(), id.abbrev(), block[fi].speedup_over(dense));
+        }
+        let beicsr = &block[formats.len()];
+        traffic.set("BEICSR", id.abbrev(), beicsr.traffic_vs(dense));
+        speedup.set("BEICSR", id.abbrev(), beicsr.speedup_over(dense));
+        let sac = &block[formats.len() + 1];
+        traffic.set("BEICSR+SAC", id.abbrev(), sac.traffic_vs(dense));
+        speedup.set("BEICSR+SAC", id.abbrev(), sac.speedup_over(dense));
     }
     (traffic, speedup)
 }
@@ -293,13 +489,18 @@ fn speedup_grid(
     cols.push("Geomean".into());
     let rows: Vec<String> = lineup.iter().map(|m| m.name.to_string()).collect();
     let mut grid = Grid::new(title, cols, rows);
+    // Every (dataset, model) sim is independent; fan them all out and fill
+    // the grid from the ordered results (row 0 of each dataset block is
+    // the normalization baseline).
+    let workloads = build_workloads(cfg, datasets, network);
+    let reports = par_map(cross(datasets.len(), lineup.len()), |(di, mi)| {
+        memo::simulate(&lineup[mi], &workloads[di], hw)
+    });
     let mut geo: Vec<GeoMean> = vec![GeoMean::new(); lineup.len()];
-    for &id in datasets {
-        let wl = Workload::build(id, cfg.scale, network, cfg.seed);
-        let baseline = lineup[0].simulate(&wl, hw);
+    for (di, &id) in datasets.iter().enumerate() {
+        let baseline = &reports[di * lineup.len()];
         for (mi, m) in lineup.iter().enumerate() {
-            let r = if mi == 0 { baseline.clone() } else { m.simulate(&wl, hw) };
-            let s = r.speedup_over(&baseline);
+            let s = reports[di * lineup.len() + mi].speedup_over(baseline);
             grid.set(m.name, id.abbrev(), s);
             geo[mi].push(s);
         }
@@ -360,14 +561,32 @@ pub fn fig13_energy(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> Grid {
         }
     }
     let mut grid = Grid::new("Fig 13: energy normalized to GCNAX total", cols, rows);
-    for &id in datasets {
-        let wl = cfg.workload(id, cfg.network());
-        let base_total = AccelModel::gcnax().simulate(&wl, &hw).energy.total_pj();
-        for m in &lineup {
-            let r = m.simulate(&wl, &hw);
-            grid.set(&format!("{}/compute", m.name), id.abbrev(), r.energy.compute_pj / base_total);
-            grid.set(&format!("{}/cache", m.name), id.abbrev(), r.energy.cache_pj / base_total);
-            grid.set(&format!("{}/dram", m.name), id.abbrev(), r.energy.dram_pj / base_total);
+    // GCNAX (lineup[0]) doubles as the normalization baseline; the sims
+    // are deterministic, so reusing its report is exact.
+    let workloads = build_workloads(cfg, datasets, cfg.network());
+    let reports = par_map(cross(datasets.len(), lineup.len()), |(di, mi)| {
+        memo::simulate(&lineup[mi], &workloads[di], &hw)
+    });
+    for (di, &id) in datasets.iter().enumerate() {
+        let block = &reports[di * lineup.len()..(di + 1) * lineup.len()];
+        let base_total = block[0].energy.total_pj();
+        for (mi, m) in lineup.iter().enumerate() {
+            let r = &block[mi];
+            grid.set(
+                &format!("{}/compute", m.name),
+                id.abbrev(),
+                r.energy.compute_pj / base_total,
+            );
+            grid.set(
+                &format!("{}/cache", m.name),
+                id.abbrev(),
+                r.energy.cache_pj / base_total,
+            );
+            grid.set(
+                &format!("{}/dram", m.name),
+                id.abbrev(),
+                r.energy.dram_pj / base_total,
+            );
             grid.set(
                 &format!("{}/total", m.name),
                 id.abbrev(),
@@ -375,11 +594,14 @@ pub fn fig13_energy(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> Grid {
             );
         }
     }
-    for m in &lineup {
-        // TDP does not depend on the dataset; reuse the smallest workload.
-        let wl = cfg.workload(datasets[0], cfg.network());
-        let r = m.simulate(&wl, &hw);
-        grid.set(&format!("{}/total", m.name), "TDP(W)", r.tdp_watts);
+    for (mi, m) in lineup.iter().enumerate() {
+        // TDP does not depend on the dataset; reuse the first dataset's
+        // reports.
+        grid.set(
+            &format!("{}/total", m.name),
+            "TDP(W)",
+            reports[mi].tdp_watts,
+        );
     }
     grid
 }
@@ -398,18 +620,37 @@ pub fn fig14_memory_breakdown(cfg: &ExperimentConfig, id: DatasetId) -> Grid {
     ];
     let rows: Vec<String> = lineup.iter().map(|m| m.name.to_string()).collect();
     let mut grid = Grid::new(
-        format!("Fig 14: memory access breakdown on {} (normalized to GCNAX)", id.abbrev()),
+        format!(
+            "Fig 14: memory access breakdown on {} (normalized to GCNAX)",
+            id.abbrev()
+        ),
         cols,
         rows,
     );
-    let wl = cfg.workload(id, cfg.network());
-    let base = lineup[0].simulate(&wl, &hw).dram_bytes() as f64;
-    for m in &lineup {
-        let r = m.simulate(&wl, &hw);
-        grid.set(m.name, "topology", r.dram_bytes_for(Traffic::Topology) as f64 / base);
-        grid.set(m.name, "feature-in", r.dram_bytes_for(Traffic::FeatureRead) as f64 / base);
-        grid.set(m.name, "feature-out", r.dram_bytes_for(Traffic::FeatureWrite) as f64 / base);
-        grid.set(m.name, "partials", r.dram_bytes_for(Traffic::PartialSum) as f64 / base);
+    let wl = memo::workload(id, cfg.scale, cfg.network(), cfg.seed, None);
+    let reports = par_map(lineup.to_vec(), |m| memo::simulate(&m, &wl, &hw));
+    let base = reports[0].dram_bytes() as f64;
+    for (m, r) in lineup.iter().zip(&reports) {
+        grid.set(
+            m.name,
+            "topology",
+            r.dram_bytes_for(Traffic::Topology) as f64 / base,
+        );
+        grid.set(
+            m.name,
+            "feature-in",
+            r.dram_bytes_for(Traffic::FeatureRead) as f64 / base,
+        );
+        grid.set(
+            m.name,
+            "feature-out",
+            r.dram_bytes_for(Traffic::FeatureWrite) as f64 / base,
+        );
+        grid.set(
+            m.name,
+            "partials",
+            r.dram_bytes_for(Traffic::PartialSum) as f64 / base,
+        );
         grid.set(m.name, "total", r.dram_bytes() as f64 / base);
     }
     grid
@@ -435,7 +676,11 @@ pub fn fig15a_layer_sensitivity(cfg: &ExperimentConfig, depths: &[usize]) -> Gri
 
 /// Fig. 15b: geomean speedup (vs GCNAX at the same cache size) as the
 /// global cache scales.
-pub fn fig15b_cache_sensitivity(cfg: &ExperimentConfig, cache_kib: &[u64], datasets: &[DatasetId]) -> Grid {
+pub fn fig15b_cache_sensitivity(
+    cfg: &ExperimentConfig,
+    cache_kib: &[u64],
+    datasets: &[DatasetId],
+) -> Grid {
     let lineup = AccelModel::fig11_lineup();
     let cols: Vec<String> = cache_kib.iter().map(|k| format!("{k}K")).collect();
     let rows: Vec<String> = lineup.iter().map(|m| m.name.to_string()).collect();
@@ -464,17 +709,43 @@ pub fn fig16_variants(cfg: &ExperimentConfig, datasets: &[DatasetId], variant: G
 
 /// Fig. 17: SGCN off-chip access sensitivity to the unit slice size,
 /// normalized per dataset to `C = 96`.
-pub fn fig17_slice_sensitivity(cfg: &ExperimentConfig, slices: &[usize], datasets: &[DatasetId]) -> Grid {
+pub fn fig17_slice_sensitivity(
+    cfg: &ExperimentConfig,
+    slices: &[usize],
+    datasets: &[DatasetId],
+) -> Grid {
     let hw = cfg.hw();
     let cols = dataset_cols(datasets);
     let rows: Vec<String> = slices.iter().map(|c| format!("Slice {c}")).collect();
-    let mut grid = Grid::new("Fig 17: off-chip access vs slice size (C=96 = 1.0)", cols, rows);
-    for &id in datasets {
-        let wl = cfg.workload(id, cfg.network());
-        let base = AccelModel::sgcn_with_slice(96).simulate(&wl, &hw).dram_bytes() as f64;
-        for &c in slices {
-            let r = AccelModel::sgcn_with_slice(c).simulate(&wl, &hw);
-            grid.set(&format!("Slice {c}"), id.abbrev(), r.dram_bytes() as f64 / base);
+    let mut grid = Grid::new(
+        "Fig 17: off-chip access vs slice size (C=96 = 1.0)",
+        cols,
+        rows,
+    );
+    // Sweep points plus the C=96 normalization base per dataset (reused
+    // from the sweep when 96 is a requested point).
+    let mut points: Vec<usize> = slices.to_vec();
+    let base_at = match slices.iter().position(|&c| c == 96) {
+        Some(i) => i,
+        None => {
+            points.push(96);
+            points.len() - 1
+        }
+    };
+    let workloads = build_workloads(cfg, datasets, cfg.network());
+    let bytes = par_map(cross(datasets.len(), points.len()), |(di, ci)| {
+        memo::simulate(
+            &AccelModel::sgcn_with_slice(points[ci]),
+            &workloads[di],
+            &hw,
+        )
+        .dram_bytes()
+    });
+    for (di, &id) in datasets.iter().enumerate() {
+        let block = &bytes[di * points.len()..(di + 1) * points.len()];
+        let base = block[base_at] as f64;
+        for (ci, &c) in slices.iter().enumerate() {
+            grid.set(&format!("Slice {c}"), id.abbrev(), block[ci] as f64 / base);
         }
     }
     grid
@@ -491,23 +762,41 @@ pub fn fig18_scalability(cfg: &ExperimentConfig, engines: &[usize], id: DatasetI
         "HBM1 util%".to_string(),
     ];
     let mut grid = Grid::new("Fig 18: SGCN scalability (vs 1 engine on HBM2)", cols, rows);
-    let wl = cfg.workload(id, cfg.network());
-    let base = AccelModel::sgcn()
-        .simulate(&wl, &cfg.hw().with_engines(1))
-        .cycles as f64;
+    let wl = memo::workload(id, cfg.scale, cfg.network(), cfg.seed, None);
+    let gens = [
+        (HbmGeneration::Hbm2, "HBM2 speedup", "HBM2 util%"),
+        (HbmGeneration::Hbm1, "HBM1 speedup", "HBM1 util%"),
+    ];
+    // The (engine, generation) sweep; the 1-engine HBM2 normalization
+    // baseline is reused from the sweep when E=1 is a requested point
+    // (HBM2 is gens[0]) and appended as one extra job otherwise.
+    let mut jobs: Vec<HwConfig> = Vec::new();
     for &e in engines {
-        for (gen, label_s, label_u) in [
-            (HbmGeneration::Hbm2, "HBM2 speedup", "HBM2 util%"),
-            (HbmGeneration::Hbm1, "HBM1 speedup", "HBM1 util%"),
-        ] {
-            let hw = cfg.hw().with_engines(e).with_hbm(gen);
-            let r = AccelModel::sgcn().simulate(&wl, &hw);
+        for (gen, _, _) in gens {
+            jobs.push(cfg.hw().with_engines(e).with_hbm(gen));
+        }
+    }
+    let base_at = match engines.iter().position(|&e| e == 1) {
+        Some(ei) => ei * gens.len(),
+        None => {
+            jobs.push(cfg.hw().with_engines(1));
+            jobs.len() - 1
+        }
+    };
+    let reports = par_map(jobs.clone(), |hw| {
+        memo::simulate(&AccelModel::sgcn(), &wl, &hw)
+    });
+    let base = reports[base_at].cycles as f64;
+    for (ei, &e) in engines.iter().enumerate() {
+        for (gi, (_, label_s, label_u)) in gens.iter().enumerate() {
+            let idx = ei * gens.len() + gi;
+            let r = &reports[idx];
             grid.set(label_s, &format!("E{e}"), base / r.cycles as f64);
             grid.set(
                 label_u,
                 &format!("E{e}"),
                 100.0 * r.mem.dram.total_bytes() as f64
-                    / (hw.dram.peak_bytes_per_cycle * r.cycles as f64),
+                    / (jobs[idx].dram.peak_bytes_per_cycle * r.cycles as f64),
             );
         }
     }
@@ -520,21 +809,29 @@ pub fn fig19_sparsity_sweep(cfg: &ExperimentConfig, sparsities_pct: &[u32], id: 
     let hw = cfg.hw();
     let cols: Vec<String> = sparsities_pct.iter().map(|s| format!("{s}%")).collect();
     let rows = vec!["Dense".to_string(), "CSR".to_string(), "SGCN".to_string()];
-    let mut grid = Grid::new("Fig 19: speedup vs feature sparsity (Dense = 1.0)", cols, rows);
-    for &pct in sparsities_pct {
-        let wl = Workload::build_with_uniform_sparsity(
+    let mut grid = Grid::new(
+        "Fig 19: speedup vs feature sparsity (Dense = 1.0)",
+        cols,
+        rows,
+    );
+    // One job per sparsity point (workload build + three sims).
+    let results = par_map(sparsities_pct.to_vec(), |pct| {
+        let wl = memo::workload(
             id,
             cfg.scale,
             cfg.network(),
-            pct as f64 / 100.0,
             cfg.seed,
+            Some(pct as f64 / 100.0),
         );
-        let dense = run_format_study(FormatKind::Dense, &wl, &hw);
-        let csr = run_format_study(FormatKind::Csr, &wl, &hw);
-        let sgcn = AccelModel::sgcn().simulate(&wl, &hw);
+        let dense = memo::format_study(FormatKind::Dense, &wl, &hw);
+        let csr = memo::format_study(FormatKind::Csr, &wl, &hw);
+        let sgcn = memo::simulate(&AccelModel::sgcn(), &wl, &hw);
+        (csr.speedup_over(&dense), sgcn.speedup_over(&dense))
+    });
+    for (&pct, &(csr, sgcn)) in sparsities_pct.iter().zip(&results) {
         grid.set("Dense", &format!("{pct}%"), 1.0);
-        grid.set("CSR", &format!("{pct}%"), csr.speedup_over(&dense));
-        grid.set("SGCN", &format!("{pct}%"), sgcn.speedup_over(&dense));
+        grid.set("CSR", &format!("{pct}%"), csr);
+        grid.set("SGCN", &format!("{pct}%"), sgcn);
     }
     grid
 }
@@ -550,15 +847,24 @@ pub fn table02_datasets(cfg: &ExperimentConfig) -> Grid {
         "SynthE".to_string(),
         "Scale".to_string(),
     ];
-    let rows: Vec<String> = DatasetId::ALL.iter().map(|d| d.abbrev().to_string()).collect();
-    let mut grid = Grid::new("Table II: dataset catalog (full-scale vs synthesized)", cols, rows);
-    for id in DatasetId::ALL {
-        let spec = id.spec();
-        let ds = sgcn_graph::datasets::Dataset::synthesize(
+    let rows: Vec<String> = DatasetId::ALL
+        .iter()
+        .map(|d| d.abbrev().to_string())
+        .collect();
+    let mut grid = Grid::new(
+        "Table II: dataset catalog (full-scale vs synthesized)",
+        cols,
+        rows,
+    );
+    let synthesized = par_map(DatasetId::ALL.to_vec(), |id| {
+        sgcn_graph::datasets::Dataset::synthesize(
             id,
             cfg.scale,
             sgcn_graph::builder::Normalization::Symmetric,
-        );
+        )
+    });
+    for (id, ds) in DatasetId::ALL.into_iter().zip(&synthesized) {
+        let spec = id.spec();
         grid.set(id.abbrev(), "Vertices", spec.vertices as f64);
         grid.set(id.abbrev(), "Edges", spec.edges as f64);
         grid.set(id.abbrev(), "InFeats", spec.input_features as f64);
@@ -570,9 +876,10 @@ pub fn table02_datasets(cfg: &ExperimentConfig) -> Grid {
     grid
 }
 
-/// Convenience: simulate the full Fig. 11 lineup on one workload.
+/// Convenience: simulate the full Fig. 11 lineup on one workload (one
+/// parallel job per accelerator).
 pub fn lineup_reports(wl: &Workload, hw: &HwConfig) -> Vec<SimReport> {
-    AccelModel::fig11_lineup().iter().map(|m| m.simulate(wl, hw)).collect()
+    par_map(AccelModel::fig11_lineup().to_vec(), |m| m.simulate(wl, hw))
 }
 
 /// Design ablation (DESIGN.md): BEICSR's two structural choices measured
@@ -592,12 +899,17 @@ pub fn ablation_beicsr_design(cfg: &ExperimentConfig, datasets: &[DatasetId]) ->
         dataset_cols(datasets),
         rows,
     );
-    for &id in datasets {
-        let wl = cfg.workload(id, cfg.network());
-        let base = run_format_study(FormatKind::BeicsrNonSliced, &wl, &hw).dram_bytes() as f64;
-        for &v in &variants {
-            let r = run_format_study(v, &wl, &hw);
-            grid.set(v.label(), id.abbrev(), r.dram_bytes() as f64 / base);
+    // variants[0] is the embedded-in-place base; reuse its run for the
+    // normalization (the sims are deterministic).
+    let workloads = build_workloads(cfg, datasets, cfg.network());
+    let bytes = par_map(cross(datasets.len(), variants.len()), |(di, vi)| {
+        memo::format_study(variants[vi], &workloads[di], &hw).dram_bytes()
+    });
+    for (di, &id) in datasets.iter().enumerate() {
+        let block = &bytes[di * variants.len()..(di + 1) * variants.len()];
+        let base = block[0] as f64;
+        for (vi, v) in variants.iter().enumerate() {
+            grid.set(v.label(), id.abbrev(), block[vi] as f64 / base);
         }
     }
     grid
@@ -605,21 +917,38 @@ pub fn ablation_beicsr_design(cfg: &ExperimentConfig, datasets: &[DatasetId]) ->
 
 /// Design ablation (DESIGN.md): SAC strip-height sweep around the paper's
 /// default of 32, speedups vs GCNAX.
-pub fn ablation_sac_strip(cfg: &ExperimentConfig, strips: &[usize], datasets: &[DatasetId]) -> Grid {
+pub fn ablation_sac_strip(
+    cfg: &ExperimentConfig,
+    strips: &[usize],
+    datasets: &[DatasetId],
+) -> Grid {
     let hw = cfg.hw();
     let rows: Vec<String> = strips.iter().map(|s| format!("strip {s}")).collect();
     let mut cols = dataset_cols(datasets);
     cols.push("Geomean".into());
-    let mut grid = Grid::new("Ablation: SAC strip height (speedup over GCNAX)", cols, rows);
+    let mut grid = Grid::new(
+        "Ablation: SAC strip height (speedup over GCNAX)",
+        cols,
+        rows,
+    );
     let mut geo: Vec<GeoMean> = vec![GeoMean::new(); strips.len()];
-    for &id in datasets {
-        let wl = cfg.workload(id, cfg.network());
-        let base = AccelModel::gcnax().simulate(&wl, &hw);
-        for (si, &strip) in strips.iter().enumerate() {
+    // Jobs per dataset: the GCNAX baseline (index 0) then one SGCN run per
+    // strip height.
+    let workloads = build_workloads(cfg, datasets, cfg.network());
+    let reports = par_map(cross(datasets.len(), strips.len() + 1), |(di, ji)| {
+        if ji == 0 {
+            memo::simulate(&AccelModel::gcnax(), &workloads[di], &hw)
+        } else {
             let mut m = AccelModel::sgcn();
-            m.strip_height = strip;
-            let r = m.simulate(&wl, &hw);
-            let s = r.speedup_over(&base);
+            m.strip_height = strips[ji - 1];
+            memo::simulate(&m, &workloads[di], &hw)
+        }
+    });
+    for (di, &id) in datasets.iter().enumerate() {
+        let block = &reports[di * (strips.len() + 1)..(di + 1) * (strips.len() + 1)];
+        let base = &block[0];
+        for (si, &strip) in strips.iter().enumerate() {
+            let s = block[si + 1].speedup_over(base);
             grid.set(&format!("strip {strip}"), id.abbrev(), s);
             geo[si].push(s);
         }
@@ -650,15 +979,29 @@ pub fn ablation_cache_policy(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> 
         dataset_cols(datasets),
         rows,
     );
-    for &id in datasets {
-        let wl = cfg.workload(id, cfg.network());
-        let base = AccelModel::gcnax()
-            .simulate(&wl, &cfg.hw().with_cache_policy(ReplacementPolicy::Lru))
-            .cycles as f64;
-        for (mname, model) in [("GCNAX", AccelModel::gcnax()), ("SGCN", AccelModel::sgcn())] {
-            for (pname, policy) in policies {
-                let r = model.simulate(&wl, &cfg.hw().with_cache_policy(policy));
-                grid.set(&format!("{mname}/{pname}"), id.abbrev(), r.cycles as f64 / base);
+    // Job order per dataset: GCNAX×{LRU,FIFO,BIP} then SGCN×{…};
+    // GCNAX/LRU (index 0) is the normalization baseline.
+    let models = [("GCNAX", AccelModel::gcnax()), ("SGCN", AccelModel::sgcn())];
+    let workloads = build_workloads(cfg, datasets, cfg.network());
+    let cycles = par_map(
+        cross(datasets.len(), models.len() * policies.len()),
+        |(di, ji)| {
+            let (_, model) = &models[ji / policies.len()];
+            let (_, policy) = policies[ji % policies.len()];
+            memo::simulate(model, &workloads[di], &cfg.hw().with_cache_policy(policy)).cycles
+        },
+    );
+    let per_dataset = models.len() * policies.len();
+    for (di, &id) in datasets.iter().enumerate() {
+        let block = &cycles[di * per_dataset..(di + 1) * per_dataset];
+        let base = block[0] as f64;
+        for (mi, (mname, _)) in models.iter().enumerate() {
+            for (pi, (pname, _)) in policies.iter().enumerate() {
+                grid.set(
+                    &format!("{mname}/{pname}"),
+                    id.abbrev(),
+                    block[mi * policies.len() + pi] as f64 / base,
+                );
             }
         }
     }
@@ -717,7 +1060,10 @@ mod tests {
         // At tiny test scale the sliced/non-sliced gap can be within noise;
         // require the sliced variant not to regress materially (the full
         // paper-scale ordering is exercised by the fig12 bench harness).
-        assert!(beicsr > non_sliced * 0.97, "beicsr {beicsr} vs non-sliced {non_sliced}");
+        assert!(
+            beicsr > non_sliced * 0.97,
+            "beicsr {beicsr} vs non-sliced {non_sliced}"
+        );
         assert!(sac >= beicsr * 0.95, "sac {sac} vs beicsr {beicsr}");
         assert!(sac > base, "sac {sac} vs baseline");
     }
@@ -814,7 +1160,11 @@ mod tests {
         let g = fig17_slice_sensitivity(&ExperimentConfig::quick(), &[32, 96], &SMALL);
         for ds in ["CR", "PM"] {
             assert!((g.get("Slice 96", ds) - 1.0).abs() < 1e-9);
-            assert!(g.get("Slice 32", ds) > 1.1, "{ds}: {}", g.get("Slice 32", ds));
+            assert!(
+                g.get("Slice 32", ds) > 1.1,
+                "{ds}: {}",
+                g.get("Slice 32", ds)
+            );
         }
     }
 
@@ -825,7 +1175,10 @@ mod tests {
         assert!(g.get("HBM2 speedup", "E4") > 1.5);
         // HBM1 never beats HBM2 at the same engine count.
         for e in ["E1", "E4"] {
-            assert!(g.get("HBM1 speedup", e) <= g.get("HBM2 speedup", e) + 1e-9, "{e}");
+            assert!(
+                g.get("HBM1 speedup", e) <= g.get("HBM2 speedup", e) + 1e-9,
+                "{e}"
+            );
         }
         // Utilization is a valid percentage.
         for row in ["HBM2 util%", "HBM1 util%"] {

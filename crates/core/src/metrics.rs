@@ -106,8 +106,7 @@ impl SimReport {
         if self.layers.is_empty() {
             return 0.0;
         }
-        self.layers.iter().filter(|l| l.is_memory_bound()).count() as f64
-            / self.layers.len() as f64
+        self.layers.iter().filter(|l| l.is_memory_bound()).count() as f64 / self.layers.len() as f64
     }
 }
 

@@ -132,7 +132,10 @@ mod tests {
         assert_eq!(w.trace.layer_features(1).cols(), 64);
         // Intermediate sparsity near the catalog value.
         let avg = w.trace.avg_intermediate_sparsity();
-        assert!((avg - w.dataset.spec.feature_sparsity).abs() < 0.08, "avg {avg}");
+        assert!(
+            (avg - w.dataset.spec.feature_sparsity).abs() < 0.08,
+            "avg {avg}"
+        );
     }
 
     #[test]

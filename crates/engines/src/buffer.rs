@@ -93,7 +93,12 @@ impl StreamBuffer {
     /// stats. Useful for sizing: with `produce_rate ≥ consume_rate` and a
     /// buffer deep enough to cover the initial fill, the consumer never
     /// stalls after warm-up.
-    pub fn simulate_rates(&mut self, produce_rate: usize, consume_rate: usize, cycles: u64) -> BufferStats {
+    pub fn simulate_rates(
+        &mut self,
+        produce_rate: usize,
+        consume_rate: usize,
+        cycles: u64,
+    ) -> BufferStats {
         for _ in 0..cycles {
             self.produce(produce_rate);
             self.consume(consume_rate);

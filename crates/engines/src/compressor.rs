@@ -108,7 +108,9 @@ mod tests {
         // The compressor's output is the next layer's aggregation input —
         // round-trip through the format.
         let mut out = Beicsr::with_shape(1, 96, BeicsrConfig::default());
-        let pre: Vec<f32> = (0..96).map(|i| if i % 2 == 0 { i as f32 } else { -1.0 }).collect();
+        let pre: Vec<f32> = (0..96)
+            .map(|i| if i % 2 == 0 { i as f32 } else { -1.0 })
+            .collect();
         Compressor::new().relu_compress_row(&pre, &mut out, 0);
         let expect: Vec<f32> = pre.iter().map(|&v| v.max(0.0)).collect();
         assert_eq!(out.decode_row(0), expect);

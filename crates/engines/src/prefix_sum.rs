@@ -53,8 +53,8 @@ impl PrefixSumUnit {
         }
         // ...converted to the exclusive form the accumulator indexes with.
         let mut out = vec![0u32; n];
-        for i in 1..n {
-            out[i] = incl[i - 1];
+        if n > 1 {
+            out[1..n].copy_from_slice(&incl[..n - 1]);
         }
         out
     }

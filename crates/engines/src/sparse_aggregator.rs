@@ -38,17 +38,9 @@ impl AggregateCost {
 }
 
 /// The sparse aggregator engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SparseAggregator {
     simd: SimdMacs,
-}
-
-impl Default for SparseAggregator {
-    fn default() -> Self {
-        SparseAggregator {
-            simd: SimdMacs::default(),
-        }
-    }
 }
 
 impl SparseAggregator {
@@ -76,7 +68,11 @@ impl SparseAggregator {
         weight: f32,
     ) -> AggregateCost {
         let bitmap = features.slot_bitmap(src_row, slice_idx);
-        assert_eq!(acc.len(), bitmap.len(), "accumulator width must match slice");
+        assert_eq!(
+            acc.len(),
+            bitmap.len(),
+            "accumulator width must match slice"
+        );
         let values = features.slot_values(src_row, slice_idx);
         // ②′ prefix sum over the bitmap → reversed indices.
         let unit = PrefixSumUnit::new(bitmap.len().max(1));

@@ -39,7 +39,10 @@ impl SystolicArray {
     ///
     /// Panics if either dimension is zero.
     pub fn new(config: SystolicConfig) -> Self {
-        assert!(config.rows > 0 && config.cols > 0, "degenerate systolic array");
+        assert!(
+            config.rows > 0 && config.cols > 0,
+            "degenerate systolic array"
+        );
         SystolicArray { config }
     }
 
@@ -75,14 +78,7 @@ impl SystolicArray {
     /// # Panics
     ///
     /// Panics if the slice lengths are inconsistent.
-    pub fn gemm(
-        a: &[f32],
-        b: &[f32],
-        init: &[f32],
-        m: usize,
-        k: usize,
-        n: usize,
-    ) -> Vec<f32> {
+    pub fn gemm(a: &[f32], b: &[f32], init: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         assert_eq!(a.len(), m * k, "A must be m×k");
         assert_eq!(b.len(), k * n, "B must be k×n");
         assert_eq!(init.len(), m * n, "init must be m×n");

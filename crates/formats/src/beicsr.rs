@@ -105,6 +105,37 @@ impl Beicsr {
         me
     }
 
+    /// The original per-bit encoder, kept verbatim as the executable
+    /// reference: a fresh [`Bitmap`] is allocated per slot and populated
+    /// bit by bit. Produces a value equal to [`Beicsr::encode`]; the
+    /// `SGCN_NAIVE=1` perf baseline and the encoder-equivalence tests
+    /// drive it.
+    pub fn encode_reference(dense: &DenseMatrix, config: BeicsrConfig) -> Self {
+        let mut me = Self::with_shape(dense.rows(), dense.cols(), config);
+        for row in 0..dense.rows() {
+            let data = dense.row_slice(row);
+            for s in 0..me.nslices {
+                let start = s * me.slice_elems;
+                let end = (start + me.slice_elems).min(me.cols);
+                let window = &data[start..end];
+                let slot = row * me.nslices + s;
+                let mut bm = Bitmap::new(window.len());
+                let mut count = 0usize;
+                let vbase = slot * me.slice_elems;
+                for (i, &v) in window.iter().enumerate() {
+                    if v != 0.0 {
+                        bm.set(i, true);
+                        me.values[vbase + count] = v;
+                        count += 1;
+                    }
+                }
+                me.bitmaps[slot] = bm;
+                me.nnz[slot] = count as u32;
+            }
+        }
+        me
+    }
+
     /// Creates an all-zero BEICSR matrix of the given shape — the layer
     /// output buffer the compressor unit writes into.
     pub fn with_shape(rows: usize, cols: usize, config: BeicsrConfig) -> Self {
@@ -113,7 +144,10 @@ impl Beicsr {
         let bitmap_bytes = (slice_elems as u64).div_ceil(8);
         // In-place reservation: bitmap + a dense slice of values, rounded to
         // the burst/cacheline boundary so every slot starts aligned.
-        let slot_bytes = align_up(bitmap_bytes + slice_elems as u64 * ELEM_BYTES, CACHELINE_BYTES);
+        let slot_bytes = align_up(
+            bitmap_bytes + slice_elems as u64 * ELEM_BYTES,
+            CACHELINE_BYTES,
+        );
         let slots = rows * nslices;
         Beicsr {
             rows,
@@ -136,7 +170,7 @@ impl Beicsr {
 
     fn slice_width_for(cols: usize, slice_elems: usize, s: usize) -> usize {
         let start = s * slice_elems;
-        slice_elems.min(cols.saturating_sub(start)).max(if cols == 0 { 0 } else { 0 })
+        slice_elems.min(cols.saturating_sub(start))
     }
 
     /// Overwrites `row` from dense contents — the operation the paper's
@@ -147,23 +181,28 @@ impl Beicsr {
     /// Panics if `row` is out of range or `data.len() != cols`.
     pub fn set_row_from_dense(&mut self, row: usize, data: &[f32]) {
         assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        assert_eq!(data.len(), self.cols, "row data must have {} columns", self.cols);
+        assert_eq!(
+            data.len(),
+            self.cols,
+            "row data must have {} columns",
+            self.cols
+        );
         for s in 0..self.nslices {
             let start = s * self.slice_elems;
             let end = (start + self.slice_elems).min(self.cols);
             let window = &data[start..end];
             let slot = row * self.nslices + s;
-            let mut bm = Bitmap::new(window.len());
             let mut count = 0usize;
             let vbase = slot * self.slice_elems;
-            for (i, &v) in window.iter().enumerate() {
+            for &v in window {
                 if v != 0.0 {
-                    bm.set(i, true);
                     self.values[vbase + count] = v;
                     count += 1;
                 }
             }
-            self.bitmaps[slot] = bm;
+            // Word-at-a-time bitmap rebuild into the existing slot — no
+            // per-slot allocation, no per-bit read-modify-write.
+            self.bitmaps[slot].fill_from_values(window);
             self.nnz[slot] = count as u32;
         }
     }
@@ -269,44 +308,64 @@ impl FeatureFormat for Beicsr {
         (self.rows * self.nslices) as u64 * self.slot_bytes
     }
 
+    // The allocating span methods collect from the visitors below, so the
+    // span arithmetic has a single source of truth.
     fn row_spans(&self, row: usize) -> Vec<Span> {
-        (0..self.nslices).map(|s| self.slot_read_span(row, s)).collect()
+        let mut spans = Vec::with_capacity(self.nslices);
+        self.for_each_row_span(row, &mut |s| spans.push(s));
+        spans
     }
 
     fn slice_spans(&self, row: usize, range: ColRange) -> Vec<Span> {
-        let range = ColRange::new(range.start.min(self.cols), range.end.min(self.cols));
-        if range.is_empty() {
-            return Vec::new();
-        }
-        if self.sliced {
-            // Whole aligned unit slices covering the window.
-            self.slices_covering(range)
-                .map(|s| self.slot_read_span(row, s))
-                .collect()
-        } else {
-            // Monolithic bitmap: read the bitmap head, then the value window
-            // located via rank(). The window start is *not* aligned — the
-            // unaligned-access cost §V-B warns about falls out of the span
-            // arithmetic when the cache rounds to cachelines.
-            let bm = self.slot_bitmap(row, 0);
-            let lo = bm.rank(range.start.min(bm.len()));
-            let hi = bm.rank(range.end.min(bm.len()));
-            let base = self.slot_offset(row, 0);
-            let mut spans = vec![Span::new(base, self.bitmap_bytes as u32)];
-            if hi > lo {
-                spans.push(Span::new(
-                    base + self.bitmap_bytes + lo as u64 * ELEM_BYTES,
-                    ((hi - lo) as u64 * ELEM_BYTES) as u32,
-                ));
-            }
-            spans
-        }
+        let mut spans = Vec::with_capacity(2);
+        self.for_each_slice_span(row, range, &mut |s| spans.push(s));
+        spans
     }
 
     fn write_spans(&self, row: usize) -> Vec<Span> {
         // In-place write of bitmap + packed values per slice; identical
         // footprint to a full-row read at current occupancy.
         self.row_spans(row)
+    }
+
+    fn for_each_row_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        for s in 0..self.nslices {
+            f(self.slot_read_span(row, s));
+        }
+    }
+
+    fn for_each_slice_span(&self, row: usize, range: ColRange, f: &mut dyn FnMut(Span)) {
+        let range = ColRange::new(range.start.min(self.cols), range.end.min(self.cols));
+        if range.is_empty() {
+            return;
+        }
+        if self.sliced {
+            // Whole aligned unit slices covering the window.
+            for s in self.slices_covering(range) {
+                f(self.slot_read_span(row, s));
+            }
+        } else {
+            // Monolithic bitmap: read the bitmap head, then the value
+            // window located via rank(). The window start is *not*
+            // aligned — the unaligned-access cost §V-B warns about falls
+            // out of the span arithmetic when the cache rounds to
+            // cachelines.
+            let bm = self.slot_bitmap(row, 0);
+            let lo = bm.rank(range.start.min(bm.len()));
+            let hi = bm.rank(range.end.min(bm.len()));
+            let base = self.slot_offset(row, 0);
+            f(Span::new(base, self.bitmap_bytes as u32));
+            if hi > lo {
+                f(Span::new(
+                    base + self.bitmap_bytes + lo as u64 * ELEM_BYTES,
+                    ((hi - lo) as u64 * ELEM_BYTES) as u32,
+                ));
+            }
+        }
+    }
+
+    fn for_each_write_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        self.for_each_row_span(row, f);
     }
 
     fn decode_row(&self, row: usize) -> Vec<f32> {
@@ -351,7 +410,11 @@ mod tests {
     #[test]
     fn roundtrip_sliced_and_non_sliced() {
         let m = dense_50pct(7, 250);
-        for cfg in [BeicsrConfig::non_sliced(), BeicsrConfig::default(), BeicsrConfig::sliced(32)] {
+        for cfg in [
+            BeicsrConfig::non_sliced(),
+            BeicsrConfig::default(),
+            BeicsrConfig::sliced(32),
+        ] {
             let b = Beicsr::encode(&m, cfg);
             for r in 0..m.rows() {
                 assert_eq!(b.decode_row(r), m.row(r), "{cfg:?} row {r}");
@@ -435,7 +498,7 @@ mod tests {
         let spans = b.slice_spans(0, ColRange::new(128, 192));
         // Bitmap head + a value window that starts mid-row.
         assert_eq!(spans.len(), 2);
-        assert!(spans[1].offset % CACHELINE_BYTES != 0);
+        assert!(!spans[1].offset.is_multiple_of(CACHELINE_BYTES));
     }
 
     #[test]

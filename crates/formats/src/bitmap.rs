@@ -28,15 +28,35 @@ impl Bitmap {
         }
     }
 
-    /// Builds a bitmap from the non-zero pattern of `values`.
+    /// Builds a bitmap from the non-zero pattern of `values`, assembling
+    /// one 64-bit word at a time (no per-bit bounds checks or
+    /// read-modify-write of the word array).
     pub fn from_values(values: &[f32]) -> Self {
         let mut bm = Bitmap::new(values.len());
-        for (i, &v) in values.iter().enumerate() {
-            if v != 0.0 {
-                bm.set(i, true);
-            }
-        }
+        bm.fill_from_values(values);
         bm
+    }
+
+    /// Overwrites the bitmap in place from the non-zero pattern of
+    /// `values` — the allocation-free form of [`Bitmap::from_values`]
+    /// used by the compressor when re-encoding into an existing slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn fill_from_values(&mut self, values: &[f32]) {
+        assert_eq!(
+            values.len(),
+            self.len,
+            "value count must match bitmap length"
+        );
+        for (word, chunk) in self.words.iter_mut().zip(values.chunks(64)) {
+            let mut w = 0u64;
+            for (b, &v) in chunk.iter().enumerate() {
+                w |= u64::from(v != 0.0) << b;
+            }
+            *word = w;
+        }
     }
 
     /// Number of elements covered by the bitmap.
@@ -93,9 +113,16 @@ impl Bitmap {
     ///
     /// Panics if `idx > len`.
     pub fn rank(&self, idx: usize) -> usize {
-        assert!(idx <= self.len, "rank index {idx} out of range {}", self.len);
+        assert!(
+            idx <= self.len,
+            "rank index {idx} out of range {}",
+            self.len
+        );
         let (full, rem) = (idx / 64, idx % 64);
-        let mut count: usize = self.words[..full].iter().map(|w| w.count_ones() as usize).sum();
+        let mut count: usize = self.words[..full]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         if rem > 0 {
             count += (self.words[full] & ((1u64 << rem) - 1)).count_ones() as usize;
         }
@@ -113,13 +140,15 @@ impl Bitmap {
 
     /// The exclusive prefix-sum over bits, as produced by the hardware
     /// prefix-sum unit: `out[i]` = number of ones before position `i`.
+    /// Walks the packed words directly instead of probing bit by bit.
     pub fn prefix_sums(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.len);
         let mut acc = 0u32;
-        for i in 0..self.len {
-            out.push(acc);
-            if self.get(i) {
-                acc += 1;
+        for (wi, &word) in self.words.iter().enumerate() {
+            let bits = (self.len - wi * 64).min(64);
+            for b in 0..bits {
+                out.push(acc);
+                acc += (word >> b) as u32 & 1;
             }
         }
         out

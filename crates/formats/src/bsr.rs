@@ -105,7 +105,10 @@ impl BsrFeatures {
     fn block_row_bounds(&self, row: usize) -> (usize, usize) {
         assert!(row < self.rows, "row {row} out of range {}", self.rows);
         let bri = row / self.br;
-        (self.block_ptr[bri] as usize, self.block_ptr[bri + 1] as usize)
+        (
+            self.block_ptr[bri] as usize,
+            self.block_ptr[bri + 1] as usize,
+        )
     }
 
     fn idx_base(&self) -> u64 {
@@ -145,7 +148,10 @@ impl FeatureFormat for BsrFeatures {
         let bri = row / self.br;
         let mut spans = vec![Span::new(bri as u64 * 4, 8)];
         if e > s {
-            spans.push(Span::new(self.idx_base() + s as u64 * 4, ((e - s) * 4) as u32));
+            spans.push(Span::new(
+                self.idx_base() + s as u64 * 4,
+                ((e - s) * 4) as u32,
+            ));
             spans.push(Span::new(
                 self.vals_base() + s as u64 * self.block_bytes(),
                 ((e - s) as u64 * self.block_bytes()) as u32,
@@ -163,7 +169,10 @@ impl FeatureFormat for BsrFeatures {
         let mut spans = vec![Span::new(bri as u64 * 4, 8)];
         if e > s {
             // Scan the block-row's indices to find the window.
-            spans.push(Span::new(self.idx_base() + s as u64 * 4, ((e - s) * 4) as u32));
+            spans.push(Span::new(
+                self.idx_base() + s as u64 * 4,
+                ((e - s) * 4) as u32,
+            ));
         }
         if hi > lo {
             spans.push(Span::new(

@@ -62,7 +62,10 @@ impl CooFeatures {
 
     fn row_bounds(&self, row: usize) -> (usize, usize) {
         assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        (self.directory[row] as usize, self.directory[row + 1] as usize)
+        (
+            self.directory[row] as usize,
+            self.directory[row + 1] as usize,
+        )
     }
 
     /// Triples live at offset 0; the directory follows, cacheline-aligned.

@@ -104,35 +104,17 @@ impl FeatureFormat for CsrFeatures {
         self.values_base() + self.nnz() as u64 * ELEM_BYTES
     }
 
+    // The allocating span methods collect from the visitors below, so the
+    // span arithmetic has a single source of truth.
     fn row_spans(&self, row: usize) -> Vec<Span> {
-        let (s, e) = self.row_bounds(row);
-        let nnz = (e - s) as u64;
-        let mut spans = vec![Span::new(row as u64 * 4, 8)]; // row_ptr[r], row_ptr[r+1]
-        if nnz > 0 {
-            spans.push(Span::new(self.col_idx_base() + s as u64 * 4, (nnz * 4) as u32));
-            spans.push(Span::new(self.values_base() + s as u64 * 4, (nnz * 4) as u32));
-        }
+        let mut spans = Vec::with_capacity(3);
+        self.for_each_row_span(row, &mut |s| spans.push(s));
         spans
     }
 
     fn slice_spans(&self, row: usize, range: ColRange) -> Vec<Span> {
-        // Reading a column window of a CSR row requires scanning the row's
-        // column indices to locate the window (the indices carry the only
-        // column information), then fetching the contiguous value run.
-        let (s, e) = self.row_bounds(row);
-        let cols = self.row_cols(row);
-        let lo = cols.partition_point(|&c| (c as usize) < range.start);
-        let hi = cols.partition_point(|&c| (c as usize) < range.end);
-        let mut spans = vec![Span::new(row as u64 * 4, 8)];
-        if e > s {
-            spans.push(Span::new(self.col_idx_base() + s as u64 * 4, ((e - s) * 4) as u32));
-        }
-        if hi > lo {
-            spans.push(Span::new(
-                self.values_base() + (s + lo) as u64 * 4,
-                ((hi - lo) * 4) as u32,
-            ));
-        }
+        let mut spans = Vec::with_capacity(3);
+        self.for_each_slice_span(row, range, &mut |s| spans.push(s));
         spans
     }
 
@@ -140,6 +122,46 @@ impl FeatureFormat for CsrFeatures {
         // Writing appends the row's indices and values and updates the row
         // pointer; same footprint as a full-row read.
         self.row_spans(row)
+    }
+
+    fn for_each_row_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        let (s, e) = self.row_bounds(row);
+        let nnz = (e - s) as u64;
+        f(Span::new(row as u64 * 4, 8)); // row_ptr[r], row_ptr[r+1]
+        if nnz > 0 {
+            f(Span::new(
+                self.col_idx_base() + s as u64 * 4,
+                (nnz * 4) as u32,
+            ));
+            f(Span::new(
+                self.values_base() + s as u64 * 4,
+                (nnz * 4) as u32,
+            ));
+        }
+    }
+
+    fn for_each_slice_span(&self, row: usize, range: ColRange, f: &mut dyn FnMut(Span)) {
+        let (s, e) = self.row_bounds(row);
+        let cols = self.row_cols(row);
+        let lo = cols.partition_point(|&c| (c as usize) < range.start);
+        let hi = cols.partition_point(|&c| (c as usize) < range.end);
+        f(Span::new(row as u64 * 4, 8));
+        if e > s {
+            f(Span::new(
+                self.col_idx_base() + s as u64 * 4,
+                ((e - s) * 4) as u32,
+            ));
+        }
+        if hi > lo {
+            f(Span::new(
+                self.values_base() + (s + lo) as u64 * 4,
+                ((hi - lo) * 4) as u32,
+            ));
+        }
+    }
+
+    fn for_each_write_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        self.for_each_row_span(row, f);
     }
 
     fn decode_row(&self, row: usize) -> Vec<f32> {

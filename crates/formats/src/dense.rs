@@ -117,7 +117,10 @@ impl DenseMatrix {
     /// Non-zero count within `range` of row `r`.
     pub fn row_range_nnz(&self, r: usize, range: ColRange) -> usize {
         let row = self.row_slice(r);
-        row[range.clamp_to(self.cols)].iter().filter(|&&v| v != 0.0).count()
+        row[range.clamp_to(self.cols)]
+            .iter()
+            .filter(|&&v| v != 0.0)
+            .count()
     }
 }
 
@@ -138,19 +141,18 @@ impl FeatureFormat for DenseMatrix {
         self.rows as u64 * self.cols as u64 * ELEM_BYTES
     }
 
+    // The allocating span methods collect from the visitors below, so the
+    // span arithmetic has a single source of truth.
     fn row_spans(&self, row: usize) -> Vec<Span> {
-        assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        let bytes = self.cols as u64 * ELEM_BYTES;
-        vec![Span::new(row as u64 * bytes, bytes as u32)]
+        let mut spans = Vec::with_capacity(1);
+        self.for_each_row_span(row, &mut |s| spans.push(s));
+        spans
     }
 
     fn slice_spans(&self, row: usize, range: ColRange) -> Vec<Span> {
-        assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        let range = range.clamp_to(self.cols);
-        let row_base = (row * self.cols) as u64 * ELEM_BYTES;
-        let offset = row_base + range.start as u64 * ELEM_BYTES;
-        let bytes = (range.end - range.start) as u64 * ELEM_BYTES;
-        vec![Span::new(offset, bytes as u32)]
+        let mut spans = Vec::with_capacity(1);
+        self.for_each_slice_span(row, range, &mut |s| spans.push(s));
+        spans
     }
 
     fn write_spans(&self, row: usize) -> Vec<Span> {
@@ -159,6 +161,25 @@ impl FeatureFormat for DenseMatrix {
 
     fn decode_row(&self, row: usize) -> Vec<f32> {
         self.row(row)
+    }
+
+    fn for_each_row_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let bytes = self.cols as u64 * ELEM_BYTES;
+        f(Span::new(row as u64 * bytes, bytes as u32));
+    }
+
+    fn for_each_slice_span(&self, row: usize, range: ColRange, f: &mut dyn FnMut(Span)) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let range = range.clamp_to(self.cols);
+        let row_base = (row * self.cols) as u64 * ELEM_BYTES;
+        let offset = row_base + range.start as u64 * ELEM_BYTES;
+        let bytes = (range.end - range.start) as u64 * ELEM_BYTES;
+        f(Span::new(offset, bytes as u32));
+    }
+
+    fn for_each_write_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        self.for_each_row_span(row, f);
     }
 }
 

@@ -27,7 +27,10 @@ impl ColRange {
 
     /// Full-width range for a matrix with `cols` columns.
     pub fn full(cols: usize) -> Self {
-        ColRange { start: 0, end: cols }
+        ColRange {
+            start: 0,
+            end: cols,
+        }
     }
 
     /// Number of columns covered.
@@ -93,6 +96,39 @@ pub trait FeatureFormat {
     /// functional reads).
     fn decode_row(&self, row: usize) -> Vec<f32>;
 
+    /// Visits the byte spans of a full-row read without allocating — the
+    /// simulator's hot path. The default delegates to [`row_spans`];
+    /// formats on the hot path override it to enumerate spans in place.
+    ///
+    /// [`row_spans`]: FeatureFormat::row_spans
+    fn for_each_row_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        for span in self.row_spans(row) {
+            f(span);
+        }
+    }
+
+    /// Visits the byte spans of a column-window read without allocating
+    /// (see [`for_each_row_span`]; default delegates to [`slice_spans`]).
+    ///
+    /// [`for_each_row_span`]: FeatureFormat::for_each_row_span
+    /// [`slice_spans`]: FeatureFormat::slice_spans
+    fn for_each_slice_span(&self, row: usize, range: ColRange, f: &mut dyn FnMut(Span)) {
+        for span in self.slice_spans(row, range) {
+            f(span);
+        }
+    }
+
+    /// Visits the byte spans of a row write-back without allocating
+    /// (see [`for_each_row_span`]; default delegates to [`write_spans`]).
+    ///
+    /// [`for_each_row_span`]: FeatureFormat::for_each_row_span
+    /// [`write_spans`]: FeatureFormat::write_spans
+    fn for_each_write_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        for span in self.write_spans(row) {
+            f(span);
+        }
+    }
+
     /// Cacheline-rounded bytes to read the whole of `row` — convenience
     /// accounting used by analytic traffic reports.
     fn row_read_bytes(&self, row: usize) -> u64 {
@@ -101,12 +137,18 @@ pub trait FeatureFormat {
 
     /// Cacheline-rounded bytes to read `range` of `row`.
     fn slice_read_bytes(&self, row: usize, range: ColRange) -> u64 {
-        self.slice_spans(row, range).iter().map(Span::cacheline_bytes).sum()
+        self.slice_spans(row, range)
+            .iter()
+            .map(Span::cacheline_bytes)
+            .sum()
     }
 
     /// Cacheline-rounded bytes to write `row`.
     fn row_write_bytes(&self, row: usize) -> u64 {
-        self.write_spans(row).iter().map(Span::cacheline_bytes).sum()
+        self.write_spans(row)
+            .iter()
+            .map(Span::cacheline_bytes)
+            .sum()
     }
 }
 

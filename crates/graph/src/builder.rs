@@ -113,15 +113,15 @@ impl GraphBuilder {
                 }
                 col_idx.push(src);
             }
-            while (row_ptr.len() as usize) < n + 1 {
+            while row_ptr.len() < n + 1 {
                 row_ptr.push(col_idx.len());
             }
         }
 
         let mut weights = Vec::with_capacity(col_idx.len());
         for dst in 0..n {
-            for i in row_ptr[dst]..row_ptr[dst + 1] {
-                let src = col_idx[i] as usize;
+            for &src in &col_idx[row_ptr[dst]..row_ptr[dst + 1]] {
+                let src = src as usize;
                 let w = match norm {
                     Normalization::Symmetric => {
                         1.0 / ((degree[dst] as f32).sqrt() * (degree[src].max(1) as f32).sqrt())
@@ -195,7 +195,9 @@ mod tests {
 
     #[test]
     fn isolated_vertices_get_only_self_loop() {
-        let g = GraphBuilder::new(3).undirected_edge(0, 1).build(Normalization::Symmetric);
+        let g = GraphBuilder::new(3)
+            .undirected_edge(0, 1)
+            .build(Normalization::Symmetric);
         assert_eq!(g.neighbors(2), &[2]);
         assert_eq!(g.edge_weights(2), &[1.0]);
     }

@@ -24,9 +24,20 @@ impl CsrGraph {
     /// mismatched lengths, or column indices out of range).
     pub fn from_parts(row_ptr: Vec<usize>, col_idx: Vec<u32>, weights: Vec<f32>) -> Self {
         assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end must equal nnz");
-        assert_eq!(col_idx.len(), weights.len(), "col_idx and weights must align");
-        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be monotonic");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr end must equal nnz"
+        );
+        assert_eq!(
+            col_idx.len(),
+            weights.len(),
+            "col_idx and weights must align"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be monotonic"
+        );
         let n = row_ptr.len() - 1;
         assert!(
             col_idx.iter().all(|&c| (c as usize) < n),
@@ -120,7 +131,11 @@ impl CsrGraph {
     }
 
     fn row_bounds(&self, v: usize) -> (usize, usize) {
-        assert!(v < self.num_vertices(), "vertex {v} out of range {}", self.num_vertices());
+        assert!(
+            v < self.num_vertices(),
+            "vertex {v} out of range {}",
+            self.num_vertices()
+        );
         (self.row_ptr[v], self.row_ptr[v + 1])
     }
 }

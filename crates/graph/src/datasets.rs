@@ -356,7 +356,11 @@ mod tests {
 
     #[test]
     fn synthesis_respects_scale_caps() {
-        let ds = Dataset::synthesize(DatasetId::Reddit, SynthScale::tiny(), Normalization::Symmetric);
+        let ds = Dataset::synthesize(
+            DatasetId::Reddit,
+            SynthScale::tiny(),
+            Normalization::Symmetric,
+        );
         assert!(ds.graph.num_vertices() <= 400);
         assert!(ds.graph.avg_degree() <= 9.5); // cap + self loops
         assert!(ds.input_features <= 256);
@@ -390,7 +394,11 @@ mod tests {
 
     #[test]
     fn sparsity_trajectory_matches_table2_average() {
-        let ds = Dataset::synthesize(DatasetId::PubMed, SynthScale::tiny(), Normalization::Symmetric);
+        let ds = Dataset::synthesize(
+            DatasetId::PubMed,
+            SynthScale::tiny(),
+            Normalization::Symmetric,
+        );
         let l = 28;
         let avg: f64 = (0..l).map(|i| ds.intermediate_sparsity(i, l)).sum::<f64>() / l as f64;
         assert!((avg - ds.spec.feature_sparsity).abs() < 0.03, "avg {avg}");
@@ -405,7 +413,11 @@ mod tests {
 
     #[test]
     fn traditional_band_is_low() {
-        let ds = Dataset::synthesize(DatasetId::Cora, SynthScale::tiny(), Normalization::Symmetric);
+        let ds = Dataset::synthesize(
+            DatasetId::Cora,
+            SynthScale::tiny(),
+            Normalization::Symmetric,
+        );
         for i in 0..5 {
             let s = ds.traditional_sparsity(i, 5);
             assert!((0.05..=0.30).contains(&s), "{s}");

@@ -101,7 +101,9 @@ pub fn erdos_renyi(vertices: usize, avg_degree: f64, seed: u64, norm: Normalizat
         let v = rng.gen_range(0..vertices);
         (u != v).then_some((u, v))
     });
-    GraphBuilder::new(vertices).undirected_edges(edges.collect::<Vec<_>>()).build(norm)
+    GraphBuilder::new(vertices)
+        .undirected_edges(edges.collect::<Vec<_>>())
+        .build(norm)
 }
 
 /// R-MAT parameters `(a, b, c, d)`; `a + b + c + d` must be ≈ 1.
@@ -135,9 +137,18 @@ impl Default for RmatParams {
 /// # Panics
 ///
 /// Panics if the quadrant probabilities do not sum to ≈ 1.
-pub fn rmat(scale: u32, edge_factor: f64, params: RmatParams, seed: u64, norm: Normalization) -> CsrGraph {
+pub fn rmat(
+    scale: u32,
+    edge_factor: f64,
+    params: RmatParams,
+    seed: u64,
+    norm: Normalization,
+) -> CsrGraph {
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-6, "rmat params must sum to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "rmat params must sum to 1, got {sum}"
+    );
     let n = 1usize << scale;
     let mut rng = SmallRng::seed_from_u64(seed);
     let target = (edge_factor * n as f64).round() as usize;

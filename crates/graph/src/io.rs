@@ -91,8 +91,12 @@ pub fn read_edge_list<R: BufRead>(
             (Some(a), Some(b)) => (a, b),
             _ => return Err(ParseGraphError::Malformed { line: line_no }),
         };
-        let a: usize = a.parse().map_err(|_| ParseGraphError::Malformed { line: line_no })?;
-        let b: usize = b.parse().map_err(|_| ParseGraphError::Malformed { line: line_no })?;
+        let a: usize = a
+            .parse()
+            .map_err(|_| ParseGraphError::Malformed { line: line_no })?;
+        let b: usize = b
+            .parse()
+            .map_err(|_| ParseGraphError::Malformed { line: line_no })?;
         for id in [a, b] {
             if id >= num_vertices {
                 return Err(ParseGraphError::VertexOutOfRange { line: line_no, id });
@@ -113,7 +117,12 @@ pub fn read_edge_list<R: BufRead>(
 ///
 /// Propagates I/O errors from `writer`.
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# {} vertices, {} directed edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# {} vertices, {} directed edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (dst, src, _) in graph.iter_edges() {
         writeln!(writer, "{dst} {src}")?;
     }

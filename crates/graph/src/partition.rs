@@ -82,7 +82,10 @@ impl Tiling {
     ///
     /// Panics if either tile dimension is zero.
     pub fn new(vertices: usize, dst_tile: usize, src_tile: usize) -> Self {
-        assert!(dst_tile > 0 && src_tile > 0, "tile dimensions must be non-zero");
+        assert!(
+            dst_tile > 0 && src_tile > 0,
+            "tile dimensions must be non-zero"
+        );
         Tiling {
             vertices,
             dst_tile,
@@ -112,7 +115,10 @@ impl Tiling {
     /// Panics if `i` is out of range.
     pub fn dst_range(&self, i: usize) -> VertexRange {
         assert!(i < self.dst_tiles(), "dst tile {i} out of range");
-        VertexRange::new(i * self.dst_tile, ((i + 1) * self.dst_tile).min(self.vertices))
+        VertexRange::new(
+            i * self.dst_tile,
+            ((i + 1) * self.dst_tile).min(self.vertices),
+        )
     }
 
     /// Source range of column-tile `j`.
@@ -122,7 +128,10 @@ impl Tiling {
     /// Panics if `j` is out of range.
     pub fn src_range(&self, j: usize) -> VertexRange {
         assert!(j < self.src_tiles(), "src tile {j} out of range");
-        VertexRange::new(j * self.src_tile, ((j + 1) * self.src_tile).min(self.vertices))
+        VertexRange::new(
+            j * self.src_tile,
+            ((j + 1) * self.src_tile).min(self.vertices),
+        )
     }
 
     /// Iterates tiles in the row-product order the paper's baseline uses:
@@ -180,7 +189,10 @@ mod tests {
             .undirected_edge(3, 4)
             .build(Normalization::Unit);
         let t = Tiling::new(6, 2, 3);
-        let sum: usize = t.iter_row_major().map(|tile| t.edges_in_tile(&g, tile)).sum();
+        let sum: usize = t
+            .iter_row_major()
+            .map(|tile| t.edges_in_tile(&g, tile))
+            .sum();
         assert_eq!(sum, g.num_edges());
     }
 

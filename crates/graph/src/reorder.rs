@@ -63,7 +63,11 @@ impl Permutation {
 
     /// Applies the permutation to a graph, renumbering vertices.
     pub fn apply(&self, graph: &CsrGraph) -> CsrGraph {
-        assert_eq!(self.len(), graph.num_vertices(), "permutation size mismatch");
+        assert_eq!(
+            self.len(),
+            graph.num_vertices(),
+            "permutation size mismatch"
+        );
         let n = self.len();
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::new();
@@ -125,7 +129,9 @@ pub fn degree_order(graph: &CsrGraph) -> Permutation {
 /// (DAVC) population.
 pub fn top_degree_vertices(graph: &CsrGraph, k: usize) -> Vec<u32> {
     let perm = degree_order(graph);
-    (0..k.min(perm.len())).map(|i| perm.old_of(i) as u32).collect()
+    (0..k.min(perm.len()))
+        .map(|i| perm.old_of(i) as u32)
+        .collect()
 }
 
 #[cfg(test)]

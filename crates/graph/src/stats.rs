@@ -50,7 +50,11 @@ impl GraphStats {
             edges,
             avg_degree: graph.avg_degree(),
             max_degree,
-            neighbor_id_distance: if edges == 0 { 0.0 } else { dist_sum / edges as f64 },
+            neighbor_id_distance: if edges == 0 {
+                0.0
+            } else {
+                dist_sum / edges as f64
+            },
             adjacent_jaccard: if jaccard_cnt == 0 {
                 0.0
             } else {

@@ -127,7 +127,9 @@ mod tests {
 
     #[test]
     fn unreachable_distance_is_max() {
-        let g = GraphBuilder::new(3).undirected_edge(0, 1).build(Normalization::Unit);
+        let g = GraphBuilder::new(3)
+            .undirected_edge(0, 1)
+            .build(Normalization::Unit);
         let d = bfs_distances(&g, 0);
         assert_eq!(d[2], u32::MAX);
     }

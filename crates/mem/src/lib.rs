@@ -32,9 +32,10 @@
 pub mod cache;
 pub mod dram;
 pub mod energy;
+mod fastdiv;
 pub mod system;
 
-pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy};
+pub use cache::{Cache, CacheConfig, CacheEngine, CacheStats, ListCache, ReplacementPolicy};
 pub use dram::{AddressMapping, Dram, DramConfig, DramStats, HbmGeneration};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use system::{MemReport, MemorySystem, Traffic, TrafficStats};
+pub use system::{MemReport, MemorySystem, SpanCounts, Traffic, TrafficStats};

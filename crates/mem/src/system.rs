@@ -6,8 +6,15 @@
 //! DRAM (§V-E) while aggregation reads flow through the global cache
 //! (§III-B). Every request is tagged with a [`Traffic`] class so reports
 //! can reproduce the breakdown of Fig. 14.
+//!
+//! The span methods ([`MemorySystem::read_span`] and friends) are the
+//! allocation-free fast path: one call walks a whole byte span line by
+//! line inside the crate (coalescing the per-line bookkeeping and letting
+//! the cache short-circuit repeated probes) and returns the per-span
+//! [`SpanCounts`]. The legacy single-shot methods (`read`, `write`, …)
+//! delegate to them, so every caller sees identical counters.
 
-use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::cache::{Cache, CacheConfig, CacheEngine, CacheStats, ListCache};
 use crate::dram::{Dram, DramConfig, DramStats};
 
 /// Traffic classes of the paper's memory-access breakdown (Fig. 14).
@@ -74,6 +81,27 @@ pub struct TrafficStats {
     pub dram_bytes: u64,
 }
 
+/// Per-span result of the batched span API: how many lines the span
+/// covered and how the cache filtered them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanCounts {
+    /// Cache lines the span touched.
+    pub lines: u64,
+    /// Lines that hit in the cache.
+    pub hits: u64,
+    /// Lines that missed (reached DRAM).
+    pub misses: u64,
+}
+
+impl SpanCounts {
+    /// Accumulates another span's counts.
+    pub fn add(&mut self, other: SpanCounts) {
+        self.lines += other.lines;
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
 /// Snapshot returned by [`MemorySystem::report`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MemReport {
@@ -102,101 +130,273 @@ impl MemReport {
     }
 }
 
+/// Either cache implementation behind one probe interface (both produce
+/// bit-identical statistics; see [`CacheEngine`]).
+#[derive(Debug, Clone)]
+enum CacheImpl {
+    Flat(Cache),
+    List(ListCache),
+}
+
+impl CacheImpl {
+    fn flush(&mut self) {
+        match self {
+            CacheImpl::Flat(c) => c.flush(),
+            CacheImpl::List(c) => c.flush(),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            CacheImpl::Flat(c) => c.stats(),
+            CacheImpl::List(c) => c.stats(),
+        }
+    }
+}
+
 /// The memory hierarchy: global cache in front of HBM.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
-    cache: Cache,
+    cache: CacheImpl,
     dram: Dram,
     per_class: [TrafficStats; 5],
     line_bytes: u64,
 }
 
 impl MemorySystem {
-    /// Builds the hierarchy.
+    /// Builds the hierarchy with the engine the environment selects
+    /// ([`CacheEngine::from_env`]; the flat fast path unless
+    /// `SGCN_NAIVE=1`).
     pub fn new(cache_config: CacheConfig, dram_config: DramConfig) -> Self {
+        Self::with_engine(cache_config, dram_config, CacheEngine::from_env())
+    }
+
+    /// Builds the hierarchy with an explicit cache engine.
+    pub fn with_engine(
+        cache_config: CacheConfig,
+        dram_config: DramConfig,
+        engine: CacheEngine,
+    ) -> Self {
         let line_bytes = cache_config.line_bytes;
         MemorySystem {
-            cache: Cache::new(cache_config),
+            cache: match engine {
+                CacheEngine::Flat => CacheImpl::Flat(Cache::new(cache_config)),
+                CacheEngine::List => CacheImpl::List(ListCache::new(cache_config)),
+            },
             dram: Dram::new(dram_config),
             per_class: [TrafficStats::default(); 5],
             line_bytes,
         }
     }
 
+    /// First and last line indices a span covers (`bytes > 0`).
+    #[inline]
+    fn line_range(&self, addr: u64, bytes: u64) -> (u64, u64) {
+        (addr / self.line_bytes, (addr + bytes - 1) / self.line_bytes)
+    }
+
+    /// Reads `bytes` bytes at `addr` through the cache in one batched
+    /// call; misses go to DRAM. Returns the span's line/hit/miss counts.
+    #[inline]
+    pub fn read_span(&mut self, addr: u64, bytes: u64, kind: Traffic) -> SpanCounts {
+        if bytes == 0 {
+            return SpanCounts::default();
+        }
+        let (first, last) = self.line_range(addr, bytes);
+        let lines = last - first + 1;
+        let mut hits = 0u64;
+        // One engine dispatch per span, not per line. The List arm is the
+        // preserved seed path: per-line class bookkeeping and the
+        // division-heavy DRAM reference routine.
+        match &mut self.cache {
+            CacheImpl::Flat(c) => {
+                for line in first..=last {
+                    if c.access_line(line) {
+                        hits += 1;
+                    } else {
+                        self.dram.access(line * self.line_bytes, false);
+                    }
+                }
+                let stats = &mut self.per_class[kind.index()];
+                stats.requests += 1;
+                stats.bytes_requested += lines * self.line_bytes;
+                stats.dram_bytes += (lines - hits) * self.line_bytes;
+            }
+            CacheImpl::List(c) => {
+                self.per_class[kind.index()].requests += 1;
+                for line in first..=last {
+                    let line_addr = line * self.line_bytes;
+                    self.per_class[kind.index()].bytes_requested += self.line_bytes;
+                    if c.access(line_addr) {
+                        hits += 1;
+                    } else {
+                        self.dram.access_reference(line_addr, false);
+                        self.per_class[kind.index()].dram_bytes += self.line_bytes;
+                    }
+                }
+            }
+        }
+        let misses = lines - hits;
+        SpanCounts {
+            lines,
+            hits,
+            misses,
+        }
+    }
+
     /// Reads `bytes` bytes at `addr` through the cache; misses go to DRAM.
     pub fn read(&mut self, addr: u64, bytes: u64, kind: Traffic) {
+        self.read_span(addr, bytes, kind);
+    }
+
+    /// Reads a span bypassing the cache — streaming accesses (e.g.
+    /// topology in accelerators that do not cache it). Every line counts
+    /// as a miss.
+    pub fn read_uncached_span(&mut self, addr: u64, bytes: u64, kind: Traffic) -> SpanCounts {
         if bytes == 0 {
-            return;
+            return SpanCounts::default();
         }
-        self.per_class[kind.index()].requests += 1;
-        let first = addr / self.line_bytes;
-        let last = (addr + bytes - 1) / self.line_bytes;
-        for line in first..=last {
-            let line_addr = line * self.line_bytes;
-            self.per_class[kind.index()].bytes_requested += self.line_bytes;
-            if !self.cache.access(line_addr) {
-                self.dram.access(line_addr, false);
-                self.per_class[kind.index()].dram_bytes += self.line_bytes;
+        let (first, last) = self.line_range(addr, bytes);
+        let lines = last - first + 1;
+        if matches!(self.cache, CacheImpl::List(_)) {
+            // Preserved seed path (per-line bookkeeping, reference DRAM).
+            let stats = &mut self.per_class[kind.index()];
+            stats.requests += 1;
+            for line in first..=last {
+                self.dram.access_reference(line * self.line_bytes, false);
+                let s = &mut self.per_class[kind.index()];
+                s.bytes_requested += self.line_bytes;
+                s.dram_bytes += self.line_bytes;
             }
+            return SpanCounts {
+                lines,
+                hits: 0,
+                misses: lines,
+            };
+        }
+        for line in first..=last {
+            self.dram.access(line * self.line_bytes, false);
+        }
+        let stats = &mut self.per_class[kind.index()];
+        stats.requests += 1;
+        stats.bytes_requested += lines * self.line_bytes;
+        stats.dram_bytes += lines * self.line_bytes;
+        SpanCounts {
+            lines,
+            hits: 0,
+            misses: lines,
         }
     }
 
     /// Reads bypassing the cache — streaming accesses (e.g. topology in
     /// accelerators that do not cache it).
     pub fn read_uncached(&mut self, addr: u64, bytes: u64, kind: Traffic) {
+        self.read_uncached_span(addr, bytes, kind);
+    }
+
+    /// Streams a span to DRAM (write-no-allocate), invalidating any stale
+    /// cached lines. Every line counts as a miss (it reaches DRAM).
+    pub fn write_span(&mut self, addr: u64, bytes: u64, kind: Traffic) -> SpanCounts {
         if bytes == 0 {
-            return;
+            return SpanCounts::default();
         }
-        let stats = &mut self.per_class[kind.index()];
-        stats.requests += 1;
-        let first = addr / self.line_bytes;
-        let last = (addr + bytes - 1) / self.line_bytes;
-        for line in first..=last {
-            self.dram.access(line * self.line_bytes, false);
-            let s = &mut self.per_class[kind.index()];
-            s.bytes_requested += self.line_bytes;
-            s.dram_bytes += self.line_bytes;
+        let (first, last) = self.line_range(addr, bytes);
+        let lines = last - first + 1;
+        match &mut self.cache {
+            CacheImpl::Flat(c) => {
+                for line in first..=last {
+                    c.invalidate_line(line);
+                    self.dram.access(line * self.line_bytes, true);
+                }
+                let stats = &mut self.per_class[kind.index()];
+                stats.requests += 1;
+                stats.bytes_requested += lines * self.line_bytes;
+                stats.dram_bytes += lines * self.line_bytes;
+            }
+            CacheImpl::List(c) => {
+                // Preserved seed path.
+                self.per_class[kind.index()].requests += 1;
+                for line in first..=last {
+                    let line_addr = line * self.line_bytes;
+                    c.invalidate(line_addr);
+                    self.dram.access_reference(line_addr, true);
+                    let s = &mut self.per_class[kind.index()];
+                    s.bytes_requested += self.line_bytes;
+                    s.dram_bytes += self.line_bytes;
+                }
+            }
+        }
+        SpanCounts {
+            lines,
+            hits: 0,
+            misses: lines,
         }
     }
 
     /// Streams `bytes` bytes at `addr` to DRAM (write-no-allocate),
     /// invalidating any stale cached lines.
     pub fn write(&mut self, addr: u64, bytes: u64, kind: Traffic) {
+        self.write_span(addr, bytes, kind);
+    }
+
+    /// Read-modify-write of a span through the cache — accumulation
+    /// buffers (partial sums). Hits stay on chip; a miss fetches the line
+    /// and charges the eventual dirty write-back.
+    pub fn read_modify_write_span(&mut self, addr: u64, bytes: u64, kind: Traffic) -> SpanCounts {
         if bytes == 0 {
-            return;
+            return SpanCounts::default();
         }
-        self.per_class[kind.index()].requests += 1;
-        let first = addr / self.line_bytes;
-        let last = (addr + bytes - 1) / self.line_bytes;
-        for line in first..=last {
-            let line_addr = line * self.line_bytes;
-            self.cache.invalidate(line_addr);
-            self.dram.access(line_addr, true);
-            let s = &mut self.per_class[kind.index()];
-            s.bytes_requested += self.line_bytes;
-            s.dram_bytes += self.line_bytes;
+        let (first, last) = self.line_range(addr, bytes);
+        let lines = last - first + 1;
+        let mut hits = 0u64;
+        match &mut self.cache {
+            CacheImpl::Flat(c) => {
+                for line in first..=last {
+                    if c.access_line(line) {
+                        hits += 1;
+                    } else {
+                        let line_addr = line * self.line_bytes;
+                        self.dram.access(line_addr, false);
+                        self.dram.access(line_addr, true); // dirty write-back
+                    }
+                }
+            }
+            CacheImpl::List(c) => {
+                // Preserved seed path.
+                self.per_class[kind.index()].requests += 1;
+                for line in first..=last {
+                    let line_addr = line * self.line_bytes;
+                    self.per_class[kind.index()].bytes_requested += self.line_bytes;
+                    if c.access(line_addr) {
+                        hits += 1;
+                    } else {
+                        self.dram.access_reference(line_addr, false);
+                        self.dram.access_reference(line_addr, true); // dirty write-back
+                        self.per_class[kind.index()].dram_bytes += 2 * self.line_bytes;
+                    }
+                }
+                return SpanCounts {
+                    lines,
+                    hits,
+                    misses: lines - hits,
+                };
+            }
+        }
+        let misses = lines - hits;
+        let stats = &mut self.per_class[kind.index()];
+        stats.requests += 1;
+        stats.bytes_requested += lines * self.line_bytes;
+        stats.dram_bytes += 2 * misses * self.line_bytes;
+        SpanCounts {
+            lines,
+            hits,
+            misses,
         }
     }
 
-    /// Read-modify-write of `bytes` at `addr` through the cache —
-    /// accumulation buffers (partial sums). Hits stay on chip; a miss
-    /// fetches the line and charges the eventual dirty write-back.
+    /// Read-modify-write of `bytes` at `addr` through the cache.
     pub fn read_modify_write(&mut self, addr: u64, bytes: u64, kind: Traffic) {
-        if bytes == 0 {
-            return;
-        }
-        self.per_class[kind.index()].requests += 1;
-        let first = addr / self.line_bytes;
-        let last = (addr + bytes - 1) / self.line_bytes;
-        for line in first..=last {
-            let line_addr = line * self.line_bytes;
-            self.per_class[kind.index()].bytes_requested += self.line_bytes;
-            if !self.cache.access(line_addr) {
-                self.dram.access(line_addr, false);
-                self.dram.access(line_addr, true); // dirty write-back
-                self.per_class[kind.index()].dram_bytes += 2 * self.line_bytes;
-            }
-        }
+        self.read_modify_write_span(addr, bytes, kind);
     }
 
     /// Elapsed DRAM time (busiest channel) in cycles.
@@ -234,7 +434,11 @@ mod tests {
     use super::*;
 
     fn sys() -> MemorySystem {
-        MemorySystem::new(CacheConfig::default(), DramConfig::hbm2())
+        MemorySystem::with_engine(
+            CacheConfig::default(),
+            DramConfig::hbm2(),
+            CacheEngine::Flat,
+        )
     }
 
     #[test]
@@ -300,9 +504,53 @@ mod tests {
         let mut m = sys();
         m.read(0, 0, Traffic::FeatureRead);
         m.write(0, 0, Traffic::FeatureWrite);
+        assert_eq!(
+            m.read_span(0, 0, Traffic::FeatureRead),
+            SpanCounts::default()
+        );
         let r = m.report();
         assert_eq!(r.cache.accesses(), 0);
         assert_eq!(r.dram_total_bytes(), 0);
+    }
+
+    #[test]
+    fn span_counts_partition_lines() {
+        let mut m = sys();
+        let cold = m.read_span(0, 256, Traffic::FeatureRead);
+        assert_eq!(
+            cold,
+            SpanCounts {
+                lines: 4,
+                hits: 0,
+                misses: 4
+            }
+        );
+        let warm = m.read_span(0, 256, Traffic::FeatureRead);
+        assert_eq!(
+            warm,
+            SpanCounts {
+                lines: 4,
+                hits: 4,
+                misses: 0
+            }
+        );
+        let w = m.write_span(0, 100, Traffic::FeatureWrite);
+        assert_eq!(
+            w,
+            SpanCounts {
+                lines: 2,
+                hits: 0,
+                misses: 2
+            }
+        );
+        let rmw = m.read_modify_write_span(0, 256, Traffic::PartialSum);
+        assert_eq!(rmw.lines, 4);
+        assert_eq!(rmw.hits, 2, "two lines were invalidated by the write");
+        // RMW misses charge fetch + write-back.
+        assert_eq!(
+            m.report().traffic(Traffic::PartialSum).dram_bytes,
+            2 * 2 * 64
+        );
     }
 
     #[test]
@@ -311,5 +559,27 @@ mod tests {
         l.sort_unstable();
         l.dedup();
         assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn engines_report_identical_counters() {
+        let mut flat = MemorySystem::with_engine(
+            CacheConfig::default(),
+            DramConfig::hbm2(),
+            CacheEngine::Flat,
+        );
+        let mut list = MemorySystem::with_engine(
+            CacheConfig::default(),
+            DramConfig::hbm2(),
+            CacheEngine::List,
+        );
+        for m in [&mut flat, &mut list] {
+            m.read(0, 300, Traffic::FeatureRead);
+            m.read(128, 64, Traffic::FeatureRead);
+            m.write(64, 256, Traffic::FeatureWrite);
+            m.read_modify_write(0, 512, Traffic::PartialSum);
+            m.read_uncached(4096, 128, Traffic::Topology);
+        }
+        assert_eq!(flat.report(), list.report());
     }
 }

@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn identical_rows_are_fully_smoothed() {
-        let m = DenseMatrix::from_vec(4, 3, vec![1.0, 2.0, 3.0].repeat(4));
+        let m = DenseMatrix::from_vec(4, 3, [1.0, 2.0, 3.0].repeat(4));
         assert!((mean_pairwise_cosine(&m) - 1.0).abs() < 1e-9);
     }
 

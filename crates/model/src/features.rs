@@ -46,7 +46,11 @@ mod tests {
     fn hits_target_sparsity() {
         for &s in &[0.3, 0.5, 0.9] {
             let m = synthesize_features(200, 128, s, 5);
-            assert!((m.sparsity() - s).abs() < 0.03, "target {s} got {}", m.sparsity());
+            assert!(
+                (m.sparsity() - s).abs() < 0.03,
+                "target {s} got {}",
+                m.sparsity()
+            );
         }
     }
 
@@ -60,7 +64,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(synthesize_features(10, 10, 0.5, 1), synthesize_features(10, 10, 0.5, 1));
+        assert_eq!(
+            synthesize_features(10, 10, 0.5, 1),
+            synthesize_features(10, 10, 0.5, 1)
+        );
     }
 
     #[test]

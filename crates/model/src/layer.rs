@@ -15,8 +15,17 @@ use crate::network::GcnVariant;
 /// * GraphSAGE averages a ≤`sample`-neighbor subset, self included.
 ///
 /// `layer_seed` derandomizes GraphSAGE's per-layer sampling.
-pub fn aggregate(graph: &CsrGraph, x: &DenseMatrix, variant: GcnVariant, layer_seed: u64) -> DenseMatrix {
-    assert_eq!(graph.num_vertices(), x.rows(), "feature rows must match vertices");
+pub fn aggregate(
+    graph: &CsrGraph,
+    x: &DenseMatrix,
+    variant: GcnVariant,
+    layer_seed: u64,
+) -> DenseMatrix {
+    assert_eq!(
+        graph.num_vertices(),
+        x.rows(),
+        "feature rows must match vertices"
+    );
     let n = graph.num_vertices();
     let w = x.cols();
     let mut out = DenseMatrix::zeros(n, w);
@@ -59,7 +68,8 @@ pub fn sampled_neighbors(graph: &CsrGraph, v: usize, sample: usize, layer_seed: 
     if own.len() <= sample {
         return own;
     }
-    let mut rng = SmallRng::seed_from_u64(layer_seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        SmallRng::seed_from_u64(layer_seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut idx: Vec<usize> = (0..own.len()).collect();
     // Partial Fisher–Yates: first `sample` slots.
     for i in 0..sample {
@@ -114,7 +124,10 @@ mod tests {
     use sgcn_graph::{GraphBuilder, Normalization};
 
     fn line_graph(norm: Normalization) -> CsrGraph {
-        GraphBuilder::new(3).undirected_edge(0, 1).undirected_edge(1, 2).build(norm)
+        GraphBuilder::new(3)
+            .undirected_edge(0, 1)
+            .undirected_edge(1, 2)
+            .build(norm)
     }
 
     fn ident_features() -> DenseMatrix {
@@ -166,7 +179,10 @@ mod tests {
         d.sort_unstable();
         d.dedup();
         assert_eq!(d.len(), 4);
-        assert_eq!(effective_edges(&g, GcnVariant::GraphSage { sample: 4 }), 5 + 9);
+        assert_eq!(
+            effective_edges(&g, GcnVariant::GraphSage { sample: 4 }),
+            5 + 9
+        );
     }
 
     #[test]

@@ -5,10 +5,11 @@ use sgcn_formats::DenseMatrix;
 use crate::weights::glorot;
 
 /// Aggregation variant (paper Fig. 16).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum GcnVariant {
     /// Vanilla GCN: symmetric-normalized weighted aggregation (Kipf &
     /// Welling, Eq. 1/2).
+    #[default]
     Gcn,
     /// GINConv: unweighted sum over neighbors plus `(1+ε)·self` — no edge
     /// weights, so the topology stream shrinks (§VI-C).
@@ -22,12 +23,6 @@ pub enum GcnVariant {
         /// Per-vertex neighbor sample cap.
         sample: usize,
     },
-}
-
-impl Default for GcnVariant {
-    fn default() -> Self {
-        GcnVariant::Gcn
-    }
 }
 
 impl GcnVariant {
@@ -107,11 +102,18 @@ impl GcnNetwork {
     /// Panics if `layers`, `width` or `input_width` is zero.
     pub fn new(config: NetworkConfig, input_width: usize, seed: u64) -> Self {
         assert!(config.layers > 0, "network must have at least one layer");
-        assert!(config.width > 0 && input_width > 0, "widths must be non-zero");
+        assert!(
+            config.width > 0 && input_width > 0,
+            "widths must be non-zero"
+        );
         let weights = (0..config.layers)
             .map(|l| {
                 let rows = if l == 0 { input_width } else { config.width };
-                glorot(rows, config.width, seed.wrapping_add(l as u64 * 0x9E37_79B9))
+                glorot(
+                    rows,
+                    config.width,
+                    seed.wrapping_add(l as u64 * 0x9E37_79B9),
+                )
             })
             .collect();
         GcnNetwork {

@@ -80,7 +80,11 @@ impl<'g> ReferenceExecutor<'g> {
     /// Creates an executor. Weights are derived deterministically from
     /// `seed` when [`Self::infer`] runs.
     pub fn new(graph: &'g CsrGraph, config: NetworkConfig, seed: u64) -> Self {
-        ReferenceExecutor { graph, config, seed }
+        ReferenceExecutor {
+            graph,
+            config,
+            seed,
+        }
     }
 
     /// The network configuration.
@@ -96,8 +100,16 @@ impl<'g> ReferenceExecutor<'g> {
     ///
     /// Panics if shapes disagree or `targets` is mis-sized.
     pub fn infer(&self, input: &DenseMatrix, targets: &[f64]) -> ModelTrace {
-        assert_eq!(input.rows(), self.graph.num_vertices(), "input rows must match vertices");
-        assert_eq!(targets.len(), self.config.layers, "one sparsity target per layer");
+        assert_eq!(
+            input.rows(),
+            self.graph.num_vertices(),
+            "input rows must match vertices"
+        );
+        assert_eq!(
+            targets.len(),
+            self.config.layers,
+            "one sparsity target per layer"
+        );
         let network = GcnNetwork::new(self.config, input.cols(), self.seed);
         let n = self.graph.num_vertices();
         let width = self.config.width;
@@ -107,9 +119,14 @@ impl<'g> ReferenceExecutor<'g> {
         // Pre-activation state S^l (uniform width, so starts at layer 1).
         let mut state: Option<Vec<f32>> = None;
         let mut x = input.clone();
-        for l in 0..self.config.layers {
+        for (l, &target) in targets.iter().enumerate().take(self.config.layers) {
             // Aggregation-first (the paper's SGCN execution order, §V-F).
-            let h = aggregate(self.graph, &x, self.config.variant, self.seed ^ (l as u64) << 32);
+            let h = aggregate(
+                self.graph,
+                &x,
+                self.config.variant,
+                self.seed ^ (l as u64) << 32,
+            );
             let s_res = combine(&h, network.weight(l));
             let mut s: Vec<f32> = s_res.as_slice().to_vec();
             if self.config.residual {
@@ -122,7 +139,7 @@ impl<'g> ReferenceExecutor<'g> {
             }
             // Calibrated activation: reproduces the trained network's
             // measured sparsity level (see crate::sparsity docs).
-            sparsity::apply_relu_with_target(&mut s, targets[l]);
+            sparsity::apply_relu_with_target(&mut s, target);
             x = DenseMatrix::from_vec(n, width, s);
             features.push(x.clone());
         }
@@ -132,8 +149,16 @@ impl<'g> ReferenceExecutor<'g> {
     /// Fast trace synthesis: per-layer features drawn at the target
     /// sparsity without running the GeMMs.
     pub fn synthesize_trace(&self, input: &DenseMatrix, targets: &[f64]) -> ModelTrace {
-        assert_eq!(input.rows(), self.graph.num_vertices(), "input rows must match vertices");
-        assert_eq!(targets.len(), self.config.layers, "one sparsity target per layer");
+        assert_eq!(
+            input.rows(),
+            self.graph.num_vertices(),
+            "input rows must match vertices"
+        );
+        assert_eq!(
+            targets.len(),
+            self.config.layers,
+            "one sparsity target per layer"
+        );
         let n = self.graph.num_vertices();
         let mut features = Vec::with_capacity(self.config.layers + 1);
         features.push(input.clone());
@@ -203,7 +228,10 @@ mod tests {
             1,
         )
         .infer(&input, &targets);
-        assert_ne!(gcn.layer_features(1).as_slice(), gin.layer_features(1).as_slice());
+        assert_ne!(
+            gcn.layer_features(1).as_slice(),
+            gin.layer_features(1).as_slice()
+        );
     }
 
     #[test]
@@ -227,8 +255,10 @@ mod tests {
         let g = small_graph();
         let input = generate_input_features(80, 16, 0.9, 4);
         let targets = vec![0.5; 3];
-        let a = ReferenceExecutor::new(&g, NetworkConfig::deep_residual(3, 16), 5).infer(&input, &targets);
-        let b = ReferenceExecutor::new(&g, NetworkConfig::deep_residual(3, 16), 5).infer(&input, &targets);
+        let a = ReferenceExecutor::new(&g, NetworkConfig::deep_residual(3, 16), 5)
+            .infer(&input, &targets);
+        let b = ReferenceExecutor::new(&g, NetworkConfig::deep_residual(3, 16), 5)
+            .infer(&input, &targets);
         assert_eq!(a, b);
     }
 
@@ -237,6 +267,7 @@ mod tests {
     fn mis_sized_targets_panic() {
         let g = small_graph();
         let input = generate_input_features(80, 16, 0.9, 4);
-        let _ = ReferenceExecutor::new(&g, NetworkConfig::deep_residual(3, 16), 5).infer(&input, &[0.5]);
+        let _ = ReferenceExecutor::new(&g, NetworkConfig::deep_residual(3, 16), 5)
+            .infer(&input, &[0.5]);
     }
 }

@@ -25,7 +25,10 @@ pub fn measure(values: &[f32]) -> f64 {
 /// Panics if `values` is empty or `target` is not in `[0, 1]`.
 pub fn quantile(values: &[f32], target: f64) -> f32 {
     assert!(!values.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&target), "quantile target out of range");
+    assert!(
+        (0.0..=1.0).contains(&target),
+        "quantile target out of range"
+    );
     let mut sorted: Vec<f32> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let idx = ((sorted.len() as f64 - 1.0) * target).round() as usize;

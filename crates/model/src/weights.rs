@@ -11,7 +11,9 @@ use sgcn_formats::DenseMatrix;
 pub fn glorot(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     let mut rng = SmallRng::seed_from_u64(seed);
     let limit = (6.0 / (rows + cols).max(1) as f64).sqrt() as f32;
-    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
     DenseMatrix::from_vec(rows, cols, data)
 }
 

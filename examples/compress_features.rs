@@ -57,6 +57,9 @@ fn main() {
         64 * width,
         max_err
     );
-    assert!(max_err < 1e-4, "sparse aggregation must match dense reference");
+    assert!(
+        max_err < 1e-4,
+        "sparse aggregation must match dense reference"
+    );
     println!("OK: compressed aggregation matches the dense reference");
 }

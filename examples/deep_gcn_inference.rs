@@ -27,15 +27,17 @@ fn main() {
 
     // Bag-of-words style sparse input, PubMed-like per-layer targets.
     let input = generate_input_features(graph.num_vertices(), 128, 0.92, 5);
-    let targets: Vec<f64> = (0..layers).map(|l| 0.55 + 0.15 * l as f64 / layers as f64).collect();
+    let targets: Vec<f64> = (0..layers)
+        .map(|l| 0.55 + 0.15 * l as f64 / layers as f64)
+        .collect();
     let trace = exec.infer(&input, &targets);
 
     println!("layer   target   measured sparsity");
-    for l in 0..layers {
+    for (l, &target) in targets.iter().enumerate() {
         println!(
             "{:>5}   {:>5.1}%   {:>6.1}%",
             l + 1,
-            targets[l] * 100.0,
+            target * 100.0,
             trace.sparsity(l + 1) * 100.0
         );
     }

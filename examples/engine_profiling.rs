@@ -28,9 +28,13 @@ fn main() {
 
     // §V-B: the per-slice occupancy distribution.
     let stats = SliceStats::measure(&beicsr);
-    println!("per-slice occupancy: mean {:.1} of {width}, σ {:.1}, CV {:.2}, >90%-full slots {:.2}%",
-        stats.mean(), stats.std_dev(), stats.coefficient_of_variation(),
-        100.0 * stats.outlier_fraction(0.9));
+    println!(
+        "per-slice occupancy: mean {:.1} of {width}, σ {:.1}, CV {:.2}, >90%-full slots {:.2}%",
+        stats.mean(),
+        stats.std_dev(),
+        stats.coefficient_of_variation(),
+        100.0 * stats.outlier_fraction(0.9)
+    );
 
     // Build the per-edge lane-work streams for the first 2000 edges.
     let mut dense_work = Vec::new();
@@ -46,12 +50,19 @@ fn main() {
     }
 
     let cfg = DatapathConfig::default();
-    println!("\n{:<8} {:>9} {:>7} {:>11} {:>13} {:>8}", "mode", "cycles", "busy", "edge-stall", "feat-stall", "util");
+    println!(
+        "\n{:<8} {:>9} {:>7} {:>11} {:>13} {:>8}",
+        "mode", "cycles", "busy", "edge-stall", "feat-stall", "util"
+    );
     for (name, work) in [("dense", &dense_work), ("BEICSR", &sparse_work)] {
         let p = simulate_aggregation(cfg, work);
         println!(
             "{:<8} {:>9} {:>7} {:>11} {:>13} {:>7.1}%",
-            name, p.cycles, p.busy_cycles, p.edge_stalls, p.feature_stalls,
+            name,
+            p.cycles,
+            p.busy_cycles,
+            p.edge_stalls,
+            p.feature_stalls,
             100.0 * p.utilization()
         );
     }

@@ -43,7 +43,19 @@ fn main() {
         );
     }
     println!();
-    println!("speedup over GCNAX      : {:.2}x", sgcn.speedup_over(&baseline));
-    println!("feature-read traffic cut: {:.1}%", 100.0 * (1.0 - sgcn.dram_bytes_for(Traffic::FeatureRead) as f64 / baseline.dram_bytes_for(Traffic::FeatureRead) as f64));
-    println!("energy vs GCNAX         : {:.1}%", 100.0 * sgcn.energy_vs(&baseline));
+    println!(
+        "speedup over GCNAX      : {:.2}x",
+        sgcn.speedup_over(&baseline)
+    );
+    println!(
+        "feature-read traffic cut: {:.1}%",
+        100.0
+            * (1.0
+                - sgcn.dram_bytes_for(Traffic::FeatureRead) as f64
+                    / baseline.dram_bytes_for(Traffic::FeatureRead) as f64)
+    );
+    println!(
+        "energy vs GCNAX         : {:.1}%",
+        100.0 * sgcn.energy_vs(&baseline)
+    );
 }

@@ -10,7 +10,12 @@ use sgcn_mem::Traffic;
 use sgcn_model::NetworkConfig;
 
 fn workload(id: DatasetId) -> Workload {
-    Workload::build(id, SynthScale::tiny(), NetworkConfig::deep_residual(5, 128), 3)
+    Workload::build(
+        id,
+        SynthScale::tiny(),
+        NetworkConfig::deep_residual(5, 128),
+        3,
+    )
 }
 
 fn hw() -> HwConfig {
@@ -27,7 +32,11 @@ fn sgcn_wins_on_every_tiny_dataset() {
         let s = sgcn.speedup_over(&base);
         assert!(s > 1.0, "{}: speedup {s}", id.abbrev());
         assert!(sgcn.dram_bytes() < base.dram_bytes(), "{}", id.abbrev());
-        assert!(sgcn.energy.total_pj() < base.energy.total_pj(), "{}", id.abbrev());
+        assert!(
+            sgcn.energy.total_pj() < base.energy.total_pj(),
+            "{}",
+            id.abbrev()
+        );
         geo.push(s);
     }
     assert!(geo.value() > 1.15, "geomean {}", geo.value());
@@ -48,7 +57,11 @@ fn all_accelerators_produce_sane_reports() {
         assert!(r.cycles * 2 >= r.mem_cycles, "{}", r.accelerator);
         // Every accelerator moves some topology and feature traffic.
         assert!(r.dram_bytes_for(Traffic::Topology) > 0, "{}", r.accelerator);
-        assert!(r.dram_bytes_for(Traffic::FeatureRead) > 0, "{}", r.accelerator);
+        assert!(
+            r.dram_bytes_for(Traffic::FeatureRead) > 0,
+            "{}",
+            r.accelerator
+        );
     }
 }
 
@@ -63,7 +76,12 @@ fn only_awb_spills_partials() {
             let tight = AccelModel::awb_gcn().simulate(&wl, &HwConfig::default().with_cache_kib(8));
             assert!(tight.dram_bytes_for(Traffic::PartialSum) > 0);
         } else {
-            assert_eq!(r.dram_bytes_for(Traffic::PartialSum), 0, "{}", r.accelerator);
+            assert_eq!(
+                r.dram_bytes_for(Traffic::PartialSum),
+                0,
+                "{}",
+                r.accelerator
+            );
         }
     }
 }

@@ -1,0 +1,74 @@
+//! The fast memory path must be invisible in the results: running any
+//! accelerator model with the flat-array cache + batched span API must
+//! produce a [`sgcn::SimReport`] **bit-identical** to the naive reference
+//! path (recency-list cache, allocating per-span reads) — same cycles,
+//! hits, misses, evictions, DRAM bytes, energy, everything.
+
+use sgcn::accel::AccelModel;
+use sgcn::experiments::ExperimentConfig;
+use sgcn::workload::Workload;
+use sgcn_graph::datasets::DatasetId;
+use sgcn_mem::CacheEngine;
+
+/// Runs one model on one quick-config dataset under both engines and
+/// demands identical reports.
+fn assert_engines_agree(model: &AccelModel, id: DatasetId) {
+    let cfg = ExperimentConfig::quick();
+    let wl = Workload::build(id, cfg.scale, cfg.network(), cfg.seed);
+    let fast = model.simulate(&wl, &cfg.hw().with_cache_engine(CacheEngine::Flat));
+    let naive = model.simulate(&wl, &cfg.hw().with_cache_engine(CacheEngine::List));
+    assert_eq!(
+        fast,
+        naive,
+        "{} on {}: fast path diverged from the naive reference",
+        model.name,
+        id.abbrev()
+    );
+}
+
+#[test]
+fn fig11_lineup_is_bit_identical_on_quick_config() {
+    // The full lineup covers every dataflow: tiled/untiled, agg/comb
+    // first, column product (psum banks), DAVC pinning, islandization,
+    // and BEICSR compressed storage.
+    for model in AccelModel::fig11_lineup() {
+        assert_engines_agree(&model, DatasetId::Cora);
+    }
+}
+
+#[test]
+fn second_dataset_and_policies_are_bit_identical() {
+    use sgcn_mem::ReplacementPolicy;
+    assert_engines_agree(&AccelModel::sgcn(), DatasetId::PubMed);
+    // Replacement-policy ablation paths too.
+    let cfg = ExperimentConfig::quick();
+    let wl = Workload::build(DatasetId::Cora, cfg.scale, cfg.network(), cfg.seed);
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Bip,
+    ] {
+        let hw = cfg.hw().with_cache_policy(policy);
+        let fast = AccelModel::sgcn().simulate(&wl, &hw.with_cache_engine(CacheEngine::Flat));
+        let naive = AccelModel::sgcn().simulate(&wl, &hw.with_cache_engine(CacheEngine::List));
+        assert_eq!(fast, naive, "{policy:?} diverged");
+    }
+}
+
+#[test]
+fn format_study_is_bit_identical() {
+    use sgcn::accel::sim::run_format_study;
+    use sgcn_formats::FormatKind;
+    let cfg = ExperimentConfig::quick();
+    let wl = Workload::build(DatasetId::Cora, cfg.scale, cfg.network(), cfg.seed);
+    for kind in [
+        FormatKind::Dense,
+        FormatKind::Csr,
+        FormatKind::Beicsr,
+        FormatKind::Coo,
+    ] {
+        let fast = run_format_study(kind, &wl, &cfg.hw().with_cache_engine(CacheEngine::Flat));
+        let naive = run_format_study(kind, &wl, &cfg.hw().with_cache_engine(CacheEngine::List));
+        assert_eq!(fast, naive, "{kind:?} diverged");
+    }
+}

@@ -59,7 +59,14 @@ fn sgcn_layer_pipeline_matches_dense_reference() {
         }
         h.row_slice_mut(dst).copy_from_slice(&acc);
     }
-    let s = SystolicArray::gemm(h.as_slice(), weight.as_slice(), residual.as_slice(), n, width, width);
+    let s = SystolicArray::gemm(
+        h.as_slice(),
+        weight.as_slice(),
+        residual.as_slice(),
+        n,
+        width,
+        width,
+    );
 
     let compressor = Compressor::new();
     let mut out = Beicsr::with_shape(n, width, BeicsrConfig::default());
@@ -148,7 +155,9 @@ fn aggregation_cost_counts_only_nonzeros() {
     for dst in 0..n {
         let mut acc = vec![0.0f32; width];
         for (&src, &w) in graph.neighbors(dst).iter().zip(graph.edge_weights(dst)) {
-            total_mult += agg.aggregate_row(&mut acc, &comp, src as usize, w).multiplies;
+            total_mult += agg
+                .aggregate_row(&mut acc, &comp, src as usize, w)
+                .multiplies;
         }
     }
     let expected: u64 = (0..n)
@@ -157,7 +166,10 @@ fn aggregation_cost_counts_only_nonzeros() {
                 .neighbors(dst)
                 .iter()
                 .map(|&s| {
-                    x.row_slice(s as usize).iter().filter(|&&v| v != 0.0).count() as u64
+                    x.row_slice(s as usize)
+                        .iter()
+                        .filter(|&&v| v != 0.0)
+                        .count() as u64
                 })
                 .sum::<u64>()
         })

@@ -15,7 +15,11 @@ fn row_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
         prop_oneof![1 => Just(0.0f32), 1 => -4.0f32..4.0],
         1..max_len,
     )
-    .prop_map(|v| v.into_iter().map(|x| if x == 0.0 { 0.0 } else { x }).collect())
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|x| if x == 0.0 { 0.0 } else { x })
+            .collect()
+    })
 }
 
 proptest! {
@@ -24,8 +28,8 @@ proptest! {
         let bm = Bitmap::from_values(&row);
         let unit = PrefixSumUnit::new(row.len());
         let scan = unit.scan(&bm);
-        for i in 0..row.len() {
-            prop_assert_eq!(scan[i] as usize, bm.rank(i), "position {}", i);
+        for (i, &got) in scan.iter().enumerate() {
+            prop_assert_eq!(got as usize, bm.rank(i), "position {}", i);
         }
     }
 

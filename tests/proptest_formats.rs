@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use sgcn_formats::{
-    Beicsr, BeicsrConfig, BlockedEllpack, BsrFeatures, ColRange, CooFeatures, CsrFeatures,
+    Beicsr, BeicsrConfig, Bitmap, BlockedEllpack, BsrFeatures, ColRange, CooFeatures, CsrFeatures,
     DenseMatrix, FeatureFormat, CACHELINE_BYTES,
 };
 
@@ -19,7 +19,10 @@ fn matrix_strategy() -> impl Strategy<Value = DenseMatrix> {
         .prop_map(move |data| {
             // Avoid -0.0 (compares equal to 0.0 but is not bit-identical,
             // and the formats canonicalize it away as a zero).
-            let data = data.into_iter().map(|v| if v == 0.0 { 0.0 } else { v }).collect();
+            let data = data
+                .into_iter()
+                .map(|v| if v == 0.0 { 0.0 } else { v })
+                .collect();
             DenseMatrix::from_vec(rows, cols, data)
         })
     })
@@ -148,6 +151,89 @@ proptest! {
         let f = Beicsr::encode(&m, BeicsrConfig::default());
         for r in 0..m.rows() {
             prop_assert_eq!(f.write_spans(r), f.row_spans(r));
+        }
+    }
+
+    #[test]
+    fn word_level_iter_ones_matches_naive_bit_loop(values in proptest::collection::vec(
+        prop_oneof![2 => Just(0.0f32), 1 => -4.0f32..4.0],
+        0..300,
+    )) {
+        // The trailing_zeros-based iterator must enumerate exactly the
+        // positions a per-bit get() loop finds, in order — including
+        // bitmaps whose length is not a multiple of 64.
+        let bm = Bitmap::from_values(&values);
+        let word_level: Vec<usize> = bm.iter_ones().collect();
+        let naive: Vec<usize> = (0..bm.len()).filter(|&i| bm.get(i)).collect();
+        prop_assert_eq!(&word_level, &naive);
+        prop_assert_eq!(word_level.len(), bm.count_ones());
+    }
+
+    #[test]
+    fn word_level_from_values_matches_per_bit_set(values in proptest::collection::vec(
+        prop_oneof![1 => Just(0.0f32), 1 => -2.0f32..2.0],
+        0..300,
+    )) {
+        // Word-at-a-time construction must equal a bitmap built bit by bit.
+        let word_level = Bitmap::from_values(&values);
+        let mut per_bit = Bitmap::new(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            if v != 0.0 {
+                per_bit.set(i, true);
+            }
+        }
+        prop_assert_eq!(word_level, per_bit);
+    }
+
+    #[test]
+    fn word_level_encoder_matches_reference(m in matrix_strategy(), slice in 1usize..20) {
+        // The in-place word-level encoder must produce a value equal to
+        // the original per-bit reference encoder for every config.
+        for cfg in [BeicsrConfig::non_sliced(), BeicsrConfig::sliced(slice), BeicsrConfig::default()] {
+            let fast = Beicsr::encode(&m, cfg);
+            let reference = Beicsr::encode_reference(&m, cfg);
+            for r in 0..m.rows() {
+                prop_assert_eq!(fast.decode_row(r), reference.decode_row(r));
+                for s in 0..fast.num_slices() {
+                    prop_assert_eq!(fast.slot_nnz(r, s), reference.slot_nnz(r, s));
+                    prop_assert_eq!(fast.slot_bitmap(r, s), reference.slot_bitmap(r, s));
+                    prop_assert_eq!(fast.slot_values(r, s), reference.slot_values(r, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_spans_match_allocating_spans(
+        m in matrix_strategy(),
+        slice in 1usize..20,
+        window in (0usize..30, 1usize..30),
+    ) {
+        // The allocation-free visitors must emit exactly the spans the
+        // Vec-returning methods produce, for every format on the hot path.
+        let formats: Vec<Box<dyn FeatureFormat>> = vec![
+            Box::new(m.clone()),
+            Box::new(CsrFeatures::encode(&m)),
+            Box::new(Beicsr::encode(&m, BeicsrConfig::sliced(slice))),
+            Box::new(Beicsr::encode(&m, BeicsrConfig::non_sliced())),
+            Box::new(CooFeatures::encode(&m)),
+        ];
+        // Windows with non-zero starts exercise the rank()/partition_point
+        // paths the aggregation sweep hits for every slice after the first.
+        let start = window.0.min(m.cols().saturating_sub(1));
+        let range = ColRange::new(start, (start + window.1).min(m.cols()));
+        for f in formats {
+            for r in 0..m.rows() {
+                let mut visited = Vec::new();
+                f.for_each_row_span(r, &mut |s| visited.push(s));
+                prop_assert_eq!(&visited, &f.row_spans(r), "{} row {}", f.format_name(), r);
+                visited.clear();
+                f.for_each_slice_span(r, range, &mut |s| visited.push(s));
+                prop_assert_eq!(&visited, &f.slice_spans(r, range), "{} slice {}", f.format_name(), r);
+                visited.clear();
+                f.for_each_write_span(r, &mut |s| visited.push(s));
+                prop_assert_eq!(&visited, &f.write_spans(r), "{} write {}", f.format_name(), r);
+            }
         }
     }
 }
