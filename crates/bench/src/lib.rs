@@ -152,5 +152,27 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     )
     .unwrap();
     writeln!(out, "{}", exp::ablation_cache_policy(cfg, &abl)).unwrap();
+
+    // Serving scenario (beyond the paper): per-request sampled-subgraph
+    // replay. Small streams keep the suite fast; `serve_sim` is the
+    // full-stream harness.
+    let serve_requests = if quick { 48 } else { 256 };
+    writeln!(
+        out,
+        "{}",
+        exp::serving_fanout_sweep(
+            cfg,
+            DatasetId::PubMed,
+            &[vec![5, 3], vec![10, 5], vec![15, 10]],
+            serve_requests,
+        )
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}",
+        exp::serving_lineup(cfg, DatasetId::PubMed, serve_requests)
+    )
+    .unwrap();
     out
 }

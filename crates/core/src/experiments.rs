@@ -181,17 +181,19 @@ fn dataset_cols(datasets: &[DatasetId]) -> Vec<String> {
 /// cache size, …). Both constructions are pure functions of their
 /// inputs, so memoizing them returns **bit-identical** values; the keys
 /// are the `Debug` rendering of every input (f64s print
-/// shortest-roundtrip, so distinct configs cannot collide). Naive mode
-/// (`SGCN_NAIVE=1`) bypasses every cache and rebuilds from scratch, like
-/// the original driver did.
+/// shortest-roundtrip, so distinct configs cannot collide). The bounded
+/// tables themselves live in [`sgcn_par::BoundedMemo`], where the
+/// eviction behaviour is unit-tested. Naive mode (`SGCN_NAIVE=1`)
+/// bypasses every cache and rebuilds from scratch, like the original
+/// driver did.
 mod memo {
-    use std::collections::HashMap;
-    use std::sync::{Arc, Mutex, OnceLock};
+    use std::sync::{Arc, OnceLock};
 
     use sgcn_formats::FormatKind;
     use sgcn_graph::datasets::{DatasetId, SynthScale};
     use sgcn_mem::CacheEngine;
     use sgcn_model::NetworkConfig;
+    use sgcn_par::BoundedMemo;
 
     use crate::accel::sim::run_format_study;
     use crate::accel::AccelModel;
@@ -217,23 +219,31 @@ mod memo {
         matches!(CacheEngine::from_env(), CacheEngine::List)
     }
 
-    static WORKLOADS: OnceLock<Mutex<HashMap<String, Arc<Workload>>>> = OnceLock::new();
-    static REPORTS: OnceLock<Mutex<HashMap<String, SimReport>>> = OnceLock::new();
-
     /// Entry caps keep a paper-scale run's memory bounded. Workloads are
     /// large (a full per-layer dense feature trace each), so past the cap
-    /// new ones are simply not cached — the early, cross-figure standard
-    /// workloads stay hot while sweep-specific variants are rebuilt on
-    /// demand, exactly like the original driver. Tune with
-    /// `SGCN_WORKLOAD_CACHE` (`0` disables workload caching).
+    /// new ones are simply not cached ([`BoundedMemo::insert_if_room`]) —
+    /// the early, cross-figure standard workloads stay hot while
+    /// sweep-specific variants are rebuilt on demand, exactly like the
+    /// original driver. Reports are small and re-derivable, so their
+    /// table clears at the cap ([`BoundedMemo::get_or_insert`]). Tune
+    /// the workload cap with `SGCN_WORKLOAD_CACHE` (`0` disables
+    /// workload caching; read once per process).
     const WORKLOAD_CAP: usize = 12;
     const REPORT_CAP: usize = 8192;
 
-    fn workload_cap() -> usize {
-        std::env::var("SGCN_WORKLOAD_CACHE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(WORKLOAD_CAP)
+    static WORKLOADS: OnceLock<Option<BoundedMemo<Arc<Workload>>>> = OnceLock::new();
+    static REPORTS: OnceLock<BoundedMemo<SimReport>> = OnceLock::new();
+
+    fn workload_memo() -> Option<&'static BoundedMemo<Arc<Workload>>> {
+        WORKLOADS
+            .get_or_init(|| {
+                let cap = std::env::var("SGCN_WORKLOAD_CACHE")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(WORKLOAD_CAP);
+                (cap > 0).then(|| BoundedMemo::new(cap))
+            })
+            .as_ref()
     }
 
     /// Builds (or recalls) a workload.
@@ -249,25 +259,18 @@ mod memo {
             None => Workload::build(id, scale, network, seed),
             Some(sp) => Workload::build_with_uniform_sparsity(id, scale, network, sp, seed),
         };
-        if naive() {
-            return CachedWorkload {
-                key: key.as_str().into(),
-                wl: Arc::new(build()),
-            };
-        }
-        let map = WORKLOADS.get_or_init(Default::default);
-        if let Some(wl) = map.lock().expect("workload memo").get(&key) {
-            return CachedWorkload {
-                key: key.as_str().into(),
-                wl: Arc::clone(wl),
-            };
-        }
-        let wl = Arc::new(build());
-        let mut guard = map.lock().expect("workload memo");
-        if guard.len() < workload_cap() {
-            guard.insert(key.clone(), Arc::clone(&wl));
-        }
-        drop(guard);
+        let memo = if naive() { None } else { workload_memo() };
+        let wl = match memo {
+            None => Arc::new(build()),
+            Some(memo) => match memo.get(&key) {
+                Some(wl) => wl,
+                None => {
+                    let wl = Arc::new(build());
+                    memo.insert_if_room(key.clone(), Arc::clone(&wl));
+                    wl
+                }
+            },
+        };
         CachedWorkload {
             key: key.as_str().into(),
             wl,
@@ -275,20 +278,12 @@ mod memo {
     }
 
     fn recall_or(key: String, run: impl FnOnce() -> SimReport, name: &'static str) -> SimReport {
-        let map = REPORTS.get_or_init(Default::default);
-        if let Some(r) = map.lock().expect("report memo").get(&key) {
-            // Only the display name can differ between callers of the
-            // same simulation point (Fig. 12 renames its baseline).
-            let mut r = r.clone();
-            r.accelerator = name;
-            return r;
-        }
-        let r = run();
-        let mut guard = map.lock().expect("report memo");
-        if guard.len() >= REPORT_CAP {
-            guard.clear();
-        }
-        guard.insert(key, r.clone());
+        let memo = REPORTS.get_or_init(|| BoundedMemo::new(REPORT_CAP));
+        // Only the display name can differ between callers of the same
+        // simulation point (Fig. 12 renames its baseline), so it is
+        // restamped on both the recall and build paths.
+        let mut r = memo.get_or_insert(key, run);
+        r.accelerator = name;
         r
     }
 
@@ -1008,6 +1003,109 @@ pub fn ablation_cache_policy(cfg: &ExperimentConfig, datasets: &[DatasetId]) -> 
     grid
 }
 
+/// Serving scenario (beyond the paper): latency-cycle percentiles and
+/// throughput of SGCN over a seeded stream of sampled-subgraph requests,
+/// one row per fanout schedule. Latencies are reported in kilocycles,
+/// throughput in krequests/s at 1 GHz.
+pub fn serving_fanout_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    fanout_sets: &[Vec<usize>],
+    requests: usize,
+) -> Grid {
+    use crate::serving::{ServeSummary, ServingConfig, ServingContext};
+    use sgcn_graph::sampling::Fanouts;
+
+    let cols: Vec<String> = ["p50(kcyc)", "p95(kcyc)", "p99(kcyc)", "krps", "verts"]
+        .map(String::from)
+        .to_vec();
+    let fanouts: Vec<Fanouts> = fanout_sets
+        .iter()
+        .map(|caps| Fanouts::new(caps.clone()))
+        .collect();
+    let rows: Vec<String> = fanouts
+        .iter()
+        .map(|f| format!("fanout {}", f.label()))
+        .collect();
+    let mut grid = Grid::new(
+        format!(
+            "Serving: SGCN sampled-subgraph latency/throughput on {} ({requests} requests)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    if fanouts.is_empty() {
+        return grid;
+    }
+    let hw = cfg.hw();
+    // Graph synthesis and X¹ generation are fanout-independent: build
+    // one context and derive the per-schedule variants from it.
+    let base = ServingContext::new(ServingConfig {
+        dataset: id,
+        scale: cfg.scale,
+        fanouts: fanouts[0].clone(),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    for f in &fanouts {
+        let ctx = base.with_fanouts(f.clone());
+        let stream = ctx.request_stream(requests);
+        let batch = ctx.serve_batch(&stream, &AccelModel::sgcn(), &hw);
+        let s = ServeSummary::from_reports(&batch);
+        let row = format!("fanout {}", f.label());
+        grid.set(&row, "p50(kcyc)", s.p50_cycles as f64 / 1e3);
+        grid.set(&row, "p95(kcyc)", s.p95_cycles as f64 / 1e3);
+        grid.set(&row, "p99(kcyc)", s.p99_cycles as f64 / 1e3);
+        grid.set(&row, "krps", s.throughput_rps / 1e3);
+        grid.set(&row, "verts", s.avg_vertices);
+    }
+    grid
+}
+
+/// Serving scenario: the full Fig. 11 accelerator lineup replaying the
+/// same request stream — per-model p50/p99 latency (kilocycles) and
+/// throughput (krequests/s), the SLO view of the paper's comparison.
+pub fn serving_lineup(cfg: &ExperimentConfig, id: DatasetId, requests: usize) -> Grid {
+    use crate::serving::{ServeSummary, ServingConfig, ServingContext};
+    use sgcn_graph::sampling::Fanouts;
+
+    let lineup = AccelModel::fig11_lineup();
+    let cols: Vec<String> = ["p50(kcyc)", "p99(kcyc)", "krps"]
+        .map(String::from)
+        .to_vec();
+    let rows: Vec<String> = lineup.iter().map(|m| m.name.to_string()).collect();
+    let mut grid = Grid::new(
+        format!(
+            "Serving: accelerator lineup on {} sampled requests ({})",
+            requests,
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: id,
+        scale: cfg.scale,
+        fanouts: Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.request_stream(requests);
+    let hw = cfg.hw();
+    // The sampled workloads are model-independent; build them once and
+    // replay every accelerator over the prepared set.
+    let workloads = ctx.build_workloads(&stream);
+    for m in &lineup {
+        let batch = ctx.serve_prepared(&stream, &workloads, m, &hw);
+        let s = ServeSummary::from_reports(&batch);
+        grid.set(m.name, "p50(kcyc)", s.p50_cycles as f64 / 1e3);
+        grid.set(m.name, "p99(kcyc)", s.p99_cycles as f64 / 1e3);
+        grid.set(m.name, "krps", s.throughput_rps / 1e3);
+    }
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1228,6 +1326,33 @@ mod tests {
             assert!((g.get("GCNAX/LRU", ds) - 1.0).abs() < 1e-9);
             // SGCN faster than GCNAX under its Table III policy.
             assert!(g.get("SGCN/LRU", ds) < 1.0, "{ds}");
+        }
+    }
+
+    #[test]
+    fn serving_fanout_sweep_larger_fanouts_cost_more() {
+        let g = serving_fanout_sweep(
+            &ExperimentConfig::quick(),
+            DatasetId::Cora,
+            &[vec![4, 2], vec![12, 8]],
+            24,
+        );
+        // Bigger neighborhoods mean more vertices and higher latency.
+        assert!(g.get("fanout 12x8", "verts") > g.get("fanout 4x2", "verts"));
+        assert!(g.get("fanout 12x8", "p50(kcyc)") >= g.get("fanout 4x2", "p50(kcyc)"));
+        // Percentiles are ordered within a row.
+        for row in ["fanout 4x2", "fanout 12x8"] {
+            assert!(g.get(row, "p99(kcyc)") >= g.get(row, "p50(kcyc)"), "{row}");
+            assert!(g.get(row, "krps") > 0.0, "{row}");
+        }
+    }
+
+    #[test]
+    fn serving_lineup_reports_all_models() {
+        let g = serving_lineup(&ExperimentConfig::quick(), DatasetId::Cora, 16);
+        for m in ["GCNAX", "HyGCN", "AWB-GCN", "EnGN", "I-GCN", "SGCN"] {
+            assert!(g.get(m, "p50(kcyc)") > 0.0, "{m}");
+            assert!(g.get(m, "krps") > 0.0, "{m}");
         }
     }
 

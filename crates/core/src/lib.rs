@@ -13,7 +13,9 @@
 //!   engine scheduling producing nested reuse windows).
 //!
 //! [`experiments`] contains one driver per paper table/figure; the
-//! `sgcn-bench` crate's binaries print them.
+//! `sgcn-bench` crate's binaries print them. [`serving`] goes beyond the
+//! paper: GraphSAGE-sampled per-request subgraph inference with latency
+//! percentile / throughput aggregation (the `serve_sim` harness).
 //!
 //! # Quickstart
 //!
@@ -43,9 +45,11 @@ pub mod cooperation;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
+pub mod serving;
 pub mod workload;
 
 pub use accel::AccelModel;
 pub use config::HwConfig;
 pub use metrics::SimReport;
+pub use serving::{Request, ServeSummary, ServingConfig, ServingContext};
 pub use workload::Workload;

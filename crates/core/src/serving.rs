@@ -1,0 +1,507 @@
+//! Request-level mini-batch serving.
+//!
+//! The paper evaluates whole-graph inference; a production deployment
+//! serves *requests*: each query names a seed vertex, a GraphSAGE-style
+//! sampler extracts its bounded multi-hop neighborhood
+//! ([`sgcn_graph::sampling`]), and the accelerator runs the layers over
+//! that subgraph alone. This module packages one dataset's serving state
+//! ([`ServingContext`]), turns sampled subgraphs into self-contained
+//! [`Workload`]s (sliced input features + synthesized per-layer trace at
+//! the dataset's sparsity trajectory), replays request batches through
+//! the simulator in parallel, and aggregates per-request [`SimReport`]s
+//! into latency percentiles and throughput ([`ServeSummary`]).
+//!
+//! # Determinism
+//!
+//! Every stage is a pure function of `(dataset, fanouts, seed, request)`:
+//! the sampler derives its RNG from the seed vertex, the trace synthesis
+//! from the serving seed and seed vertex, and [`serve_batch`] fans out
+//! over [`sgcn_par::par_map`], which returns results in input order — so
+//! a replayed stream is **bit-identical at any thread count**, matching
+//! the experiment drivers' contract.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgcn_formats::DenseMatrix;
+use sgcn_graph::builder::Normalization;
+use sgcn_graph::datasets::{Dataset, DatasetId, SynthScale};
+use sgcn_graph::sampling::{sample_neighborhood, Fanouts, SampledSubgraph};
+use sgcn_model::features::{generate_input_features, slice_rows};
+use sgcn_model::{NetworkConfig, ReferenceExecutor};
+use sgcn_par::par_map;
+
+use crate::accel::AccelModel;
+use crate::config::HwConfig;
+use crate::metrics::SimReport;
+use crate::workload::Workload;
+
+/// Scale knobs for a serving session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Which catalog dataset backs the graph.
+    pub dataset: DatasetId,
+    /// Synthesis scale of the backing graph.
+    pub scale: SynthScale,
+    /// Per-hop sampling caps; the hop count is also the served network's
+    /// depth (one aggregation per hop, the GraphSAGE convention).
+    pub fanouts: Fanouts,
+    /// Feature width of the served network.
+    pub width: usize,
+    /// Serving RNG seed (request streams, trace synthesis).
+    pub seed: u64,
+}
+
+impl ServingConfig {
+    /// The default quick-scale serving setup: a 2-hop 10×5 fanout on
+    /// PubMed, matching the test-scale experiment config.
+    pub fn quick() -> Self {
+        ServingConfig {
+            dataset: DatasetId::PubMed,
+            scale: SynthScale::tiny(),
+            fanouts: Fanouts::new(vec![10, 5]),
+            width: 128,
+            seed: 2023,
+        }
+    }
+}
+
+/// One inference request: a position in the stream plus the vertex whose
+/// representation is queried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Stream position (stable across thread counts).
+    pub index: usize,
+    /// The queried vertex (original dataset id).
+    pub seed_vertex: u32,
+}
+
+/// Per-request result: the subgraph's size plus the simulation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestReport {
+    /// The request served.
+    pub request: Request,
+    /// Sampled subgraph vertices.
+    pub vertices: usize,
+    /// Sampled subgraph edges.
+    pub edges: usize,
+    /// The accelerator simulation of the request's workload.
+    pub report: SimReport,
+}
+
+/// Shared per-dataset serving state, built once per session: the backing
+/// graph and the full input feature matrix `X¹` that request slices are
+/// cut from.
+#[derive(Debug, Clone)]
+pub struct ServingContext {
+    /// The backing dataset (synthesized topology + catalog spec).
+    pub dataset: Dataset,
+    /// The served network (depth = sampling hops).
+    pub network: NetworkConfig,
+    config: ServingConfig,
+    input: DenseMatrix,
+}
+
+impl ServingContext {
+    /// Synthesizes the backing graph and input features for `config`.
+    pub fn new(config: ServingConfig) -> Self {
+        let dataset = Dataset::synthesize(config.dataset, config.scale, Normalization::Symmetric);
+        let network = NetworkConfig::deep_residual(config.fanouts.hops(), config.width);
+        let input = generate_input_features(
+            dataset.graph.num_vertices(),
+            dataset.input_features,
+            dataset.spec.input_sparsity,
+            config.seed ^ 0xA11CE,
+        );
+        ServingContext {
+            dataset,
+            network,
+            config,
+            input,
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Derives a context with a different fanout schedule (and hence
+    /// network depth), reusing this context's synthesized graph and
+    /// input features — both are fanout-independent, so sweeps share
+    /// them instead of re-synthesizing per schedule. Equivalent to
+    /// `ServingContext::new` with the fanouts swapped.
+    pub fn with_fanouts(&self, fanouts: Fanouts) -> ServingContext {
+        let network = NetworkConfig::deep_residual(fanouts.hops(), self.config.width);
+        ServingContext {
+            dataset: self.dataset.clone(),
+            network,
+            config: ServingConfig {
+                fanouts,
+                ..self.config.clone()
+            },
+            input: self.input.clone(),
+        }
+    }
+
+    /// A deterministic stream of `n` requests with uniformly drawn seed
+    /// vertices (the heavy-traffic arrival mix).
+    pub fn request_stream(&self, n: usize) -> Vec<Request> {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x5E_D51D);
+        let vertices = self.dataset.graph.num_vertices();
+        (0..n)
+            .map(|index| Request {
+                index,
+                seed_vertex: rng.gen_range(0..vertices) as u32,
+            })
+            .collect()
+    }
+
+    /// Samples the request's neighborhood.
+    pub fn sample(&self, request: &Request) -> SampledSubgraph {
+        sample_neighborhood(
+            &self.dataset.graph,
+            request.seed_vertex,
+            &self.config.fanouts,
+            self.config.seed,
+        )
+    }
+
+    /// Builds the request's self-contained workload: the sampled
+    /// subgraph as the topology, input features sliced from the full
+    /// `X¹` (the same vertex always serves identical bytes), and the
+    /// per-layer trace synthesized at the dataset's published sparsity
+    /// trajectory. Pure in `(self, request.seed_vertex)`.
+    pub fn build_workload(&self, request: &Request) -> Workload {
+        let sub = self.sample(request);
+        let input = slice_rows(&self.input, &sub.vertices);
+        let layers = self.network.layers;
+        let targets: Vec<f64> = (0..layers)
+            .map(|l| self.dataset.intermediate_sparsity(l, layers))
+            .collect();
+        // Trace seed mixes the serving seed with the queried vertex so
+        // identical requests replay identically regardless of stream
+        // position.
+        let trace_seed = self.config.seed ^ (u64::from(request.seed_vertex) << 20);
+        let exec = ReferenceExecutor::new(&sub.graph, self.network, trace_seed);
+        let trace = exec.synthesize_trace(&input, &targets);
+        Workload {
+            dataset: Dataset {
+                spec: self.dataset.spec,
+                graph: sub.graph,
+                input_features: self.dataset.input_features,
+                vertex_scale: self.dataset.vertex_scale,
+            },
+            network: self.network,
+            trace,
+        }
+    }
+
+    /// Serves one request on one accelerator.
+    pub fn serve(&self, request: &Request, model: &AccelModel, hw: &HwConfig) -> RequestReport {
+        let wl = self.build_workload(request);
+        let vertices = wl.vertices();
+        let edges = wl.graph().num_edges();
+        RequestReport {
+            request: *request,
+            vertices,
+            edges,
+            report: model.simulate(&wl, hw),
+        }
+    }
+
+    /// Replays a request batch in parallel, results in stream order
+    /// (bit-identical at any `SGCN_THREADS`).
+    pub fn serve_batch(
+        &self,
+        requests: &[Request],
+        model: &AccelModel,
+        hw: &HwConfig,
+    ) -> Vec<RequestReport> {
+        par_map(requests.to_vec(), |req| self.serve(&req, model, hw))
+    }
+
+    /// Builds the stream's workloads in parallel (stream order) — the
+    /// model-independent half of a replay. When several accelerators
+    /// replay the same stream, build once and feed each model through
+    /// [`Self::serve_prepared`] instead of re-sampling per model.
+    pub fn build_workloads(&self, requests: &[Request]) -> Vec<Workload> {
+        par_map(requests.to_vec(), |req| self.build_workload(&req))
+    }
+
+    /// Simulates prebuilt workloads on one model, results in stream
+    /// order — bit-identical to [`Self::serve_batch`] on the same
+    /// stream, minus the rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` and `workloads` disagree in length.
+    pub fn serve_prepared(
+        &self,
+        requests: &[Request],
+        workloads: &[Workload],
+        model: &AccelModel,
+        hw: &HwConfig,
+    ) -> Vec<RequestReport> {
+        assert_eq!(requests.len(), workloads.len(), "one workload per request");
+        par_map((0..requests.len()).collect(), |i| RequestReport {
+            request: requests[i],
+            vertices: workloads[i].vertices(),
+            edges: workloads[i].graph().num_edges(),
+            report: model.simulate(&workloads[i], hw),
+        })
+    }
+}
+
+/// Nearest-rank percentile (`q` in 0..=100) of an ascending-sorted
+/// sequence.
+fn percentile(sorted: &[u64], q: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q as usize * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// Batch-level aggregation of per-request reports: the serving SLO view
+/// (latency-cycle percentiles, throughput) plus traffic totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSummary {
+    /// Requests aggregated.
+    pub requests: usize,
+    /// Sum of per-request cycles (a sequential replay's makespan).
+    pub total_cycles: u64,
+    /// Mean request latency in cycles.
+    pub mean_cycles: f64,
+    /// Median request latency in cycles.
+    pub p50_cycles: u64,
+    /// 95th-percentile latency in cycles.
+    pub p95_cycles: u64,
+    /// 99th-percentile latency in cycles.
+    pub p99_cycles: u64,
+    /// Worst request latency in cycles.
+    pub max_cycles: u64,
+    /// Requests per second at the platform's 1 GHz clock, one engine
+    /// replaying the stream back to back.
+    pub throughput_rps: f64,
+    /// Total DRAM bytes across requests.
+    pub total_dram_bytes: u64,
+    /// Mean sampled-subgraph vertex count.
+    pub avg_vertices: f64,
+    /// Mean sampled-subgraph edge count.
+    pub avg_edges: f64,
+}
+
+impl ServeSummary {
+    /// Aggregates a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty — an empty batch has no percentiles.
+    pub fn from_reports(reports: &[RequestReport]) -> Self {
+        assert!(!reports.is_empty(), "cannot summarize an empty batch");
+        let n = reports.len();
+        let mut latencies: Vec<u64> = reports.iter().map(|r| r.report.cycles).collect();
+        latencies.sort_unstable();
+        let total_cycles: u64 = latencies.iter().sum();
+        ServeSummary {
+            requests: n,
+            total_cycles,
+            mean_cycles: total_cycles as f64 / n as f64,
+            p50_cycles: percentile(&latencies, 50),
+            p95_cycles: percentile(&latencies, 95),
+            p99_cycles: percentile(&latencies, 99),
+            max_cycles: *latencies.last().expect("non-empty"),
+            throughput_rps: n as f64 * 1e9 / total_cycles as f64,
+            total_dram_bytes: reports.iter().map(|r| r.report.dram_bytes()).sum(),
+            avg_vertices: reports.iter().map(|r| r.vertices).sum::<usize>() as f64 / n as f64,
+            avg_edges: reports.iter().map(|r| r.edges).sum::<usize>() as f64 / n as f64,
+        }
+    }
+
+    /// Deterministic JSON rendering (fixed field order, fixed float
+    /// precision) — the `BENCH_serve.json` payload, byte-identical
+    /// across thread counts by construction. The label is escaped, so
+    /// any string is safe.
+    pub fn to_json(&self, label: &str) -> String {
+        let label = label.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "{{\n  \"bench\": \"serve_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"p50_cycles\": {},\n  \"p95_cycles\": {},\n  \"p99_cycles\": {},\n  \"max_cycles\": {},\n  \"mean_cycles\": {:.3},\n  \"total_cycles\": {},\n  \"throughput_rps\": {:.3},\n  \"total_dram_bytes\": {},\n  \"avg_vertices\": {:.3},\n  \"avg_edges\": {:.3}\n}}\n",
+            self.requests,
+            self.p50_cycles,
+            self.p95_cycles,
+            self.p99_cycles,
+            self.max_cycles,
+            self.mean_cycles,
+            self.total_cycles,
+            self.throughput_rps,
+            self.total_dram_bytes,
+            self.avg_vertices,
+            self.avg_edges,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ServingContext {
+        ServingContext::new(ServingConfig {
+            dataset: DatasetId::Cora,
+            scale: SynthScale::tiny(),
+            fanouts: Fanouts::new(vec![6, 3]),
+            width: 64,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_in_bounds() {
+        let ctx = tiny_ctx();
+        let a = ctx.request_stream(40);
+        let b = ctx.request_stream(40);
+        assert_eq!(a, b);
+        let n = ctx.dataset.graph.num_vertices();
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert!((r.seed_vertex as usize) < n);
+        }
+    }
+
+    #[test]
+    fn workload_shapes_match_subgraph() {
+        let ctx = tiny_ctx();
+        let req = ctx.request_stream(3)[1];
+        let sub = ctx.sample(&req);
+        let wl = ctx.build_workload(&req);
+        assert_eq!(wl.vertices(), sub.num_vertices());
+        assert_eq!(wl.graph(), &sub.graph);
+        assert_eq!(wl.trace.num_layers(), ctx.network.layers);
+        assert_eq!(wl.input_features().rows(), sub.num_vertices());
+        // The input slice carries the exact rows of the full X¹.
+        assert!(wl.vertices() <= 1 + 6 + 6 * 3);
+    }
+
+    #[test]
+    fn same_seed_vertex_is_position_independent() {
+        let ctx = tiny_ctx();
+        let a = Request {
+            index: 0,
+            seed_vertex: 42,
+        };
+        let b = Request {
+            index: 900,
+            seed_vertex: 42,
+        };
+        assert_eq!(ctx.build_workload(&a).trace, ctx.build_workload(&b).trace);
+    }
+
+    #[test]
+    fn serve_produces_nonzero_report() {
+        let ctx = tiny_ctx();
+        let req = ctx.request_stream(1)[0];
+        let rr = ctx.serve(&req, &AccelModel::sgcn(), &HwConfig::default());
+        assert!(rr.report.cycles > 0);
+        assert!(rr.report.dram_bytes() > 0);
+        assert!(rr.vertices >= 1);
+    }
+
+    #[test]
+    fn batch_matches_serial_replay() {
+        let ctx = tiny_ctx();
+        let reqs = ctx.request_stream(12);
+        let hw = HwConfig::default();
+        let model = AccelModel::sgcn();
+        let batch = ctx.serve_batch(&reqs, &model, &hw);
+        let serial: Vec<RequestReport> = reqs.iter().map(|r| ctx.serve(r, &model, &hw)).collect();
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn with_fanouts_equals_fresh_context() {
+        let ctx = tiny_ctx();
+        let fanouts = Fanouts::new(vec![3, 2, 2]);
+        let derived = ctx.with_fanouts(fanouts.clone());
+        let fresh = ServingContext::new(ServingConfig {
+            fanouts,
+            ..ctx.config().clone()
+        });
+        assert_eq!(derived.network, fresh.network);
+        let req = derived.request_stream(2)[1];
+        assert_eq!(req, fresh.request_stream(2)[1]);
+        assert_eq!(
+            derived.serve(&req, &AccelModel::sgcn(), &HwConfig::default()),
+            fresh.serve(&req, &AccelModel::sgcn(), &HwConfig::default())
+        );
+    }
+
+    #[test]
+    fn prepared_replay_equals_batch_replay() {
+        let ctx = tiny_ctx();
+        let reqs = ctx.request_stream(10);
+        let hw = HwConfig::default();
+        let workloads = ctx.build_workloads(&reqs);
+        for model in [AccelModel::sgcn(), AccelModel::gcnax()] {
+            let prepared = ctx.serve_prepared(&reqs, &workloads, &model, &hw);
+            let batch = ctx.serve_batch(&reqs, &model, &hw);
+            assert_eq!(prepared, batch, "{}", model.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload per request")]
+    fn prepared_replay_length_mismatch_panics() {
+        let ctx = tiny_ctx();
+        let reqs = ctx.request_stream(3);
+        let workloads = ctx.build_workloads(&reqs[..2]);
+        let _ = ctx.serve_prepared(&reqs, &workloads, &AccelModel::sgcn(), &HwConfig::default());
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let ctx = tiny_ctx();
+        let reqs = ctx.request_stream(16);
+        let batch = ctx.serve_batch(&reqs, &AccelModel::sgcn(), &HwConfig::default());
+        let s = ServeSummary::from_reports(&batch);
+        assert_eq!(s.requests, 16);
+        assert!(s.p50_cycles <= s.p95_cycles);
+        assert!(s.p95_cycles <= s.p99_cycles);
+        assert!(s.p99_cycles <= s.max_cycles);
+        assert!(s.throughput_rps > 0.0);
+        assert!(s.mean_cycles * 16.0 - s.total_cycles as f64 == 0.0 || s.total_cycles > 0);
+        assert!(s.avg_vertices >= 1.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 95), 95);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let ctx = tiny_ctx();
+        let reqs = ctx.request_stream(4);
+        let batch = ctx.serve_batch(&reqs, &AccelModel::sgcn(), &HwConfig::default());
+        let s = ServeSummary::from_reports(&batch);
+        assert_eq!(s.to_json("CR"), s.to_json("CR"));
+        assert!(s.to_json("CR").contains("\"workload\": \"CR\""));
+        // Labels with JSON metacharacters are escaped, not interpolated.
+        let tricky = s.to_json("my \"hot\" \\stream");
+        assert!(
+            tricky.contains(r#""workload": "my \"hot\" \\stream""#),
+            "{tricky}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_summary_panics() {
+        let _ = ServeSummary::from_reports(&[]);
+    }
+}

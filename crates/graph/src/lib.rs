@@ -13,6 +13,8 @@
 //!   synthetic instantiation,
 //! * [`partition`] — 2-D adjacency tiling used by GCNAX-style dataflows,
 //! * [`reorder`] — BFS islandization (I-GCN) and degree ordering (EnGN),
+//! * [`sampling`] — GraphSAGE-style per-request neighbor sampling with
+//!   deterministic subgraph extraction (the serving subsystem's front end),
 //! * [`stats`] — degree and locality statistics.
 //!
 //! # Example
@@ -40,6 +42,7 @@ pub mod generate;
 pub mod io;
 pub mod partition;
 pub mod reorder;
+pub mod sampling;
 pub mod stats;
 pub mod traversal;
 
@@ -47,4 +50,5 @@ pub use builder::{GraphBuilder, Normalization};
 pub use csr::CsrGraph;
 pub use datasets::{Dataset, DatasetId, DatasetSpec};
 pub use partition::{Tile, Tiling, VertexRange};
+pub use sampling::{sample_neighborhood, Fanouts, SampledSubgraph};
 pub use stats::GraphStats;

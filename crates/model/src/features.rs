@@ -38,6 +38,23 @@ pub fn synthesize_features(rows: usize, cols: usize, sparsity: f64, seed: u64) -
     m
 }
 
+/// Extracts the rows named by `rows` (in order) into a new matrix — the
+/// serving path's feature slice: a sampled subgraph's input features are
+/// the full dataset's `X¹` restricted to the sampled vertices, so the
+/// same vertex always serves identical input bytes across requests.
+///
+/// # Panics
+///
+/// Panics if any row index is out of range.
+pub fn slice_rows(m: &DenseMatrix, rows: &[u32]) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(rows.len(), m.cols());
+    for (local, &orig) in rows.iter().enumerate() {
+        out.row_slice_mut(local)
+            .copy_from_slice(m.row_slice(orig as usize));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +93,33 @@ mod tests {
         let nnz0 = m.row(0).iter().filter(|&&v| v != 0.0).count();
         let any_diff = (1..50).any(|r| m.row(r).iter().filter(|&&v| v != 0.0).count() != nnz0);
         assert!(any_diff, "per-row jitter should vary nnz");
+    }
+
+    #[test]
+    fn slice_rows_copies_named_rows_in_order() {
+        let m = synthesize_features(20, 16, 0.5, 9);
+        let picks = [3u32, 3, 17, 0];
+        let s = slice_rows(&m, &picks);
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.cols(), 16);
+        for (local, &orig) in picks.iter().enumerate() {
+            assert_eq!(s.row(local), m.row(orig as usize), "row {local}");
+        }
+    }
+
+    #[test]
+    fn slice_rows_empty_selection() {
+        let m = synthesize_features(5, 8, 0.5, 1);
+        let s = slice_rows(&m, &[]);
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.cols(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_rows_bad_index_panics() {
+        let m = synthesize_features(4, 8, 0.5, 1);
+        let _ = slice_rows(&m, &[4]);
     }
 
     #[test]

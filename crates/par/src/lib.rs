@@ -17,6 +17,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod memo;
+
+pub use memo::BoundedMemo;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -105,7 +105,11 @@ macro_rules! int_range {
             fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range");
-                let span = (hi as u128) - (lo as u128) + 1;
+                // Wrapping span arithmetic: a negative signed `lo`
+                // sign-extends to a huge u128, so a plain subtraction
+                // would overflow (the half-open impl above has the same
+                // shape).
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
                 lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
             }
         }
@@ -209,6 +213,22 @@ mod tests {
             let f: f64 = rng.gen();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_bounds() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut seen_neg = false;
+        let mut seen_pos = false;
+        for _ in 0..10_000 {
+            let a = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&a));
+            seen_neg |= a < 0;
+            seen_pos |= a > 0;
+            let b = rng.gen_range(-10i64..-2);
+            assert!((-10..-2).contains(&b));
+        }
+        assert!(seen_neg && seen_pos, "both signs should appear");
     }
 
     #[test]

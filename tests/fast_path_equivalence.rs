@@ -56,6 +56,32 @@ fn second_dataset_and_policies_are_bit_identical() {
 }
 
 #[test]
+fn serving_requests_are_bit_identical() {
+    use sgcn::serving::{ServingConfig, ServingContext};
+    use sgcn_graph::sampling::Fanouts;
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::Cora,
+        scale: cfg.scale,
+        fanouts: Fanouts::new(vec![8, 4]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let requests = ctx.request_stream(6);
+    for model in [AccelModel::sgcn(), AccelModel::gcnax()] {
+        for req in &requests {
+            let fast = ctx.serve(req, &model, &cfg.hw().with_cache_engine(CacheEngine::Flat));
+            let naive = ctx.serve(req, &model, &cfg.hw().with_cache_engine(CacheEngine::List));
+            assert_eq!(
+                fast, naive,
+                "{} on request {}: fast path diverged",
+                model.name, req.index
+            );
+        }
+    }
+}
+
+#[test]
 fn format_study_is_bit_identical() {
     use sgcn::accel::sim::run_format_study;
     use sgcn_formats::FormatKind;

@@ -1,0 +1,158 @@
+//! Golden-trace regression tests: the rendered quick-suite figures and
+//! the serving summary are committed under `tests/golden/` and any drift
+//! fails with a readable line diff.
+//!
+//! The suite output is deterministic by contract — bit-identical across
+//! thread counts, cache engines (`SGCN_NAIVE=1`), and driver
+//! memoization — so these snapshots pin the *results* of every
+//! experiment driver at once. After an intentional modelling change,
+//! regenerate with:
+//!
+//! ```text
+//! SGCN_UPDATE_GOLDEN=1 cargo test --test golden_suite
+//! ```
+//!
+//! and review the golden diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use sgcn::experiments::ExperimentConfig;
+use sgcn_graph::datasets::DatasetId;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn update_mode() -> bool {
+    std::env::var("SGCN_UPDATE_GOLDEN")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// A readable unified-style diff: every differing line with its number,
+/// truncated after a handful of hunks.
+fn line_diff(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0usize;
+    let mut differing = 0usize;
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e == a {
+            continue;
+        }
+        differing += 1;
+        if shown < 20 {
+            if let Some(e) = e {
+                let _ = writeln!(out, "  line {:>4} - {e}", i + 1);
+            }
+            if let Some(a) = a {
+                let _ = writeln!(out, "  line {:>4} + {a}", i + 1);
+            }
+            shown += 1;
+        }
+    }
+    if differing > shown {
+        let _ = writeln!(out, "  … and {} more differing lines", differing - shown);
+    }
+    let _ = writeln!(
+        out,
+        "  ({} expected lines, {} actual lines)",
+        exp.len(),
+        act.len()
+    );
+    Some(out)
+}
+
+/// Compares `actual` against the committed snapshot (or rewrites it in
+/// update mode).
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if update_mode() {
+        std::fs::write(&path, actual).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run SGCN_UPDATE_GOLDEN=1 cargo test --test golden_suite",
+            path.display()
+        )
+    });
+    if let Some(diff) = line_diff(&expected, actual) {
+        panic!(
+            "{name} drifted from the committed golden:\n{diff}\
+             If the change is intentional, regenerate with \
+             SGCN_UPDATE_GOLDEN=1 cargo test --test golden_suite and review the diff."
+        );
+    }
+}
+
+fn quick_datasets() -> Vec<DatasetId> {
+    vec![DatasetId::Cora, DatasetId::PubMed, DatasetId::Github]
+}
+
+/// The serving summary JSON (a small request stream at quick scale)
+/// must match its snapshot — pinning the sampler, the workload
+/// construction, and the percentile aggregation in one trace. Called
+/// from the single env-touching test below, not a `#[test]` of its own:
+/// it reads `SGCN_NAIVE`/`SGCN_THREADS` (via `HwConfig::default` and
+/// `par_map`), so running it concurrently with the naive-path check
+/// would race the environment.
+fn check_serve_summary_golden() {
+    use sgcn::accel::AccelModel;
+    use sgcn::serving::{ServeSummary, ServingConfig, ServingContext};
+
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts: sgcn_graph::sampling::Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.request_stream(100);
+    let batch = ctx.serve_batch(&stream, &AccelModel::sgcn(), &cfg.hw());
+    let json = ServeSummary::from_reports(&batch).to_json("PM fanout 10x5 SGCN");
+    assert_matches_golden("serve_quick.json", &json);
+}
+
+/// The full rendered quick suite must match the snapshot on both the
+/// default (fast) path and the `SGCN_NAIVE=1` seed-replay path, and the
+/// serving summary must match its snapshot. Everything that reads the
+/// environment runs inside this **one** test: `SGCN_NAIVE` is process
+/// state, and sibling tests in this binary would race the mutation
+/// (`line_diff_reports_changed_lines` below is pure, so it may stay
+/// separate).
+#[test]
+fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
+    let cfg = ExperimentConfig::quick();
+    let datasets = quick_datasets();
+
+    let fast = sgcn_bench::run_suite(&cfg, &datasets, true);
+    assert_matches_golden("quick_suite.txt", &fast);
+    check_serve_summary_golden();
+
+    std::env::set_var("SGCN_NAIVE", "1");
+    let naive = sgcn_bench::run_suite(&cfg, &datasets, true);
+    std::env::remove_var("SGCN_NAIVE");
+    if let Some(diff) = line_diff(&fast, &naive) {
+        panic!("SGCN_NAIVE=1 rendered a different suite than the fast path:\n{diff}");
+    }
+}
+
+#[test]
+fn line_diff_reports_changed_lines() {
+    let d = line_diff("a\nb\nc\n", "a\nX\nc\n").expect("differs");
+    assert!(d.contains("line    2 - b"), "{d}");
+    assert!(d.contains("line    2 + X"), "{d}");
+    assert!(line_diff("same\n", "same\n").is_none());
+}

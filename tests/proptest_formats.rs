@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use sgcn_formats::{
     Beicsr, BeicsrConfig, Bitmap, BlockedEllpack, BsrFeatures, ColRange, CooFeatures, CsrFeatures,
-    DenseMatrix, FeatureFormat, CACHELINE_BYTES,
+    DenseMatrix, FeatureFormat, PackedBeicsr, SeparateBitmapCsr, CACHELINE_BYTES,
 };
 
 /// Strategy: a small dense matrix with a mix of zeros and non-zeros.
@@ -58,6 +58,18 @@ proptest! {
         let f = BlockedEllpack::encode(&m);
         for r in 0..m.rows() {
             prop_assert_eq!(f.decode_row(r), m.row(r));
+        }
+    }
+
+    #[test]
+    fn ablation_formats_roundtrip(m in matrix_strategy()) {
+        // The design-ablation variants (separate bitmap array, packed
+        // variable-length rows) must also reproduce every row exactly.
+        let sep = SeparateBitmapCsr::encode(&m);
+        let packed = PackedBeicsr::encode(&m);
+        for r in 0..m.rows() {
+            prop_assert_eq!(sep.decode_row(r), m.row(r), "separate-bitmap row {}", r);
+            prop_assert_eq!(packed.decode_row(r), m.row(r), "packed row {}", r);
         }
     }
 
@@ -133,7 +145,10 @@ proptest! {
             Box::new(CsrFeatures::encode(&m)),
             Box::new(CooFeatures::encode(&m)),
             Box::new(BsrFeatures::encode(&m)),
+            Box::new(BlockedEllpack::encode(&m)),
             Box::new(Beicsr::encode(&m, BeicsrConfig::default())),
+            Box::new(SeparateBitmapCsr::encode(&m)),
+            Box::new(PackedBeicsr::encode(&m)),
         ];
         for f in formats {
             prop_assert!(
@@ -210,13 +225,19 @@ proptest! {
         window in (0usize..30, 1usize..30),
     ) {
         // The allocation-free visitors must emit exactly the spans the
-        // Vec-returning methods produce, for every format on the hot path.
+        // Vec-returning methods produce, for every format the simulator
+        // can drive — the hot-path overrides and the default-impl
+        // formats (BSR, ELLPACK, the ablation variants) alike.
         let formats: Vec<Box<dyn FeatureFormat>> = vec![
             Box::new(m.clone()),
             Box::new(CsrFeatures::encode(&m)),
             Box::new(Beicsr::encode(&m, BeicsrConfig::sliced(slice))),
             Box::new(Beicsr::encode(&m, BeicsrConfig::non_sliced())),
             Box::new(CooFeatures::encode(&m)),
+            Box::new(BsrFeatures::encode(&m)),
+            Box::new(BlockedEllpack::encode(&m)),
+            Box::new(SeparateBitmapCsr::encode(&m)),
+            Box::new(PackedBeicsr::encode(&m)),
         ];
         // Windows with non-zero starts exercise the rank()/partition_point
         // paths the aggregation sweep hits for every slice after the first.

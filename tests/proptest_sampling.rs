@@ -1,0 +1,132 @@
+//! Property-based tests on the GraphSAGE-style neighbor sampler: every
+//! sampled subgraph must be a valid self-contained CSR (sorted rows,
+//! in-bounds local ids, no duplicate neighbors), deterministic for a
+//! fixed seed, and bounded by the fanout schedule.
+
+use proptest::prelude::*;
+use sgcn_graph::sampling::{sample_neighborhood, Fanouts};
+use sgcn_graph::{generate, CsrGraph, Normalization};
+
+/// Strategy: a random Erdős–Rényi graph (with the GCN normalization's
+/// self loops) plus a seed vertex and sampling seed.
+fn scenario_strategy() -> impl Strategy<Value = (CsrGraph, u32, u64)> {
+    (4usize..120, 1u32..70, 0u64..1_000_000).prop_map(|(n, deg_x10, seed)| {
+        let g = generate::erdos_renyi(
+            n,
+            deg_x10 as f64 / 10.0,
+            seed ^ 0x6,
+            Normalization::Symmetric,
+        );
+        let seed_vertex = (seed % n as u64) as u32;
+        (g, seed_vertex, seed)
+    })
+}
+
+/// Strategy: a 1–3 hop fanout schedule with per-hop caps 1..8.
+fn fanout_strategy() -> impl Strategy<Value = Fanouts> {
+    proptest::collection::vec(1usize..8, 1..4).prop_map(Fanouts::new)
+}
+
+proptest! {
+    #[test]
+    fn subgraph_is_valid_csr(s in scenario_strategy(), f in fanout_strategy()) {
+        let (g, seed_vertex, seed) = s;
+        let sub = sample_neighborhood(&g, seed_vertex, &f, seed);
+        let n = sub.num_vertices();
+        prop_assert_eq!(sub.graph.num_vertices(), n);
+        prop_assert!(n >= 1);
+        for v in 0..n {
+            let neigh = sub.graph.neighbors(v);
+            // Sorted strictly ascending ⇒ no duplicates.
+            prop_assert!(neigh.windows(2).all(|w| w[0] < w[1]), "row {} not sorted", v);
+            prop_assert!(neigh.iter().all(|&u| (u as usize) < n), "row {} out of bounds", v);
+            // Weights align with neighbors.
+            prop_assert_eq!(sub.graph.edge_weights(v).len(), neigh.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed(s in scenario_strategy(), f in fanout_strategy()) {
+        let (g, seed_vertex, seed) = s;
+        let a = sample_neighborhood(&g, seed_vertex, &f, seed);
+        let b = sample_neighborhood(&g, seed_vertex, &f, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fanout_caps_every_row_degree(s in scenario_strategy(), f in fanout_strategy()) {
+        let (g, seed_vertex, seed) = s;
+        let sub = sample_neighborhood(&g, seed_vertex, &f, seed);
+        for v in 0..sub.num_vertices() {
+            prop_assert!(
+                sub.graph.degree(v) <= f.max_cap(),
+                "vertex {} degree {} exceeds cap {}",
+                v,
+                sub.graph.degree(v),
+                f.max_cap()
+            );
+        }
+    }
+
+    #[test]
+    fn vertices_map_is_sorted_unique_and_covers_edges(
+        s in scenario_strategy(),
+        f in fanout_strategy(),
+    ) {
+        let (g, seed_vertex, seed) = s;
+        let sub = sample_neighborhood(&g, seed_vertex, &f, seed);
+        prop_assert_eq!(sub.vertices.len(), sub.num_vertices());
+        prop_assert!(sub.vertices.windows(2).all(|w| w[0] < w[1]), "local→orig not sorted");
+        prop_assert!(sub.vertices.iter().all(|&o| (o as usize) < g.num_vertices()));
+        prop_assert_eq!(sub.vertices[sub.seed_local], seed_vertex);
+        // Every sampled edge exists in the parent graph with its weight.
+        for v in 0..sub.num_vertices() {
+            let dst = sub.original_id(v) as usize;
+            for (&src_local, &w) in sub.graph.neighbors(v).iter().zip(sub.graph.edge_weights(v)) {
+                let src = sub.original_id(src_local as usize);
+                let at = g.neighbors(dst).binary_search(&src);
+                prop_assert!(at.is_ok(), "edge ({}, {}) missing in parent", dst, src);
+                prop_assert_eq!(w, g.edge_weights(dst)[at.unwrap()]);
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_size_is_bounded_by_fanout_product(
+        s in scenario_strategy(),
+        f in fanout_strategy(),
+    ) {
+        let (g, seed_vertex, seed) = s;
+        let sub = sample_neighborhood(&g, seed_vertex, &f, seed);
+        // Worst case: every hop discovers cap-many fresh vertices per
+        // frontier vertex — 1 + c0 + c0·c1 + …
+        let mut bound = 1usize;
+        let mut frontier = 1usize;
+        for &cap in f.caps() {
+            frontier *= cap;
+            bound += frontier;
+        }
+        prop_assert!(
+            sub.num_vertices() <= bound,
+            "{} vertices exceeds bound {}",
+            sub.num_vertices(),
+            bound
+        );
+        prop_assert!(sub.num_vertices() <= g.num_vertices());
+    }
+
+    #[test]
+    fn sampling_seed_changes_only_the_sample_not_validity(
+        s in scenario_strategy(),
+        f in fanout_strategy(),
+    ) {
+        let (g, seed_vertex, seed) = s;
+        // Two different sampling seeds both produce valid subgraphs
+        // containing the seed vertex (they may or may not differ).
+        for sd in [seed, seed ^ 0xDEAD_BEEF] {
+            let sub = sample_neighborhood(&g, seed_vertex, &f, sd);
+            prop_assert_eq!(sub.vertices[sub.seed_local], seed_vertex);
+            prop_assert!(sub.graph.num_edges() >= 1, "seed row must sample something");
+        }
+    }
+}
