@@ -1,0 +1,118 @@
+//! The online queueing harness behind `BENCH_queue.json`.
+//!
+//! Puts the sampled-subgraph serving path behind live traffic: a seeded
+//! open-loop exponential arrival process feeds an N-engine event-driven
+//! scheduler whose engines keep their feature caches **warm across
+//! requests** (`sgcn::serving::queueing`). The summary reports queueing
+//! delay and end-to-end latency percentiles, fleet utilization, makespan
+//! and warm-cache reuse.
+//!
+//! Every field of the JSON is a pure function of `(stream, knobs)` — the
+//! only parallel stage returns results in stream order and the event
+//! loop is serial — so the file is **byte-identical at any
+//! `SGCN_THREADS`** (wall-clock timings go to stdout only). Knobs:
+//!
+//! * `SGCN_REQUESTS` — stream length (default 1000; 0 renders the
+//!   all-zero summary instead of aborting),
+//! * `SGCN_LOAD` — offered load ρ (default 0.8),
+//! * `SGCN_ENGINES` — engine count (default 4),
+//! * `SGCN_POLICY` — `fifo` / `least` / `affinity` (default `affinity`),
+//! * `SGCN_HOTSPOT` — hot-seed pool size, 0 = uniform traffic
+//!   (default `requests / 6`),
+//! * `SGCN_QUICK=1` — test-scale graph, `SGCN_QUEUE_OUT` — output path.
+
+use sgcn::accel::AccelModel;
+use sgcn::serving::queueing::{run_queue, QueueConfig, SchedPolicy};
+use sgcn::serving::{ServingConfig, ServingContext};
+use sgcn_bench::{banner, experiment_config};
+use sgcn_graph::datasets::DatasetId;
+use sgcn_graph::sampling::Fanouts;
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    banner("BENCH_queue harness (online queueing, multi-engine co-scheduling)");
+    let cfg = experiment_config();
+    let requests: usize = env_parse("SGCN_REQUESTS", 1000);
+    let load: f64 = env_parse("SGCN_LOAD", 0.8);
+    let engines: usize = env_parse("SGCN_ENGINES", 4);
+    let policy = std::env::var("SGCN_POLICY")
+        .ok()
+        .map(|v| SchedPolicy::parse(&v).unwrap_or_else(|| panic!("unknown SGCN_POLICY {v:?}")))
+        .unwrap_or(SchedPolicy::CacheAffinity);
+    let hotspot: usize = env_parse("SGCN_HOTSPOT", (requests / 6).max(1));
+
+    let fanouts = Fanouts::new(vec![10, 5]);
+    let label = format!(
+        "{} fanout {} SGCN x{engines} {}",
+        DatasetId::PubMed.abbrev(),
+        fanouts.label(),
+        policy.label()
+    );
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts,
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = if hotspot == 0 {
+        ctx.request_stream(requests)
+    } else {
+        ctx.hotspot_stream(requests, hotspot)
+    };
+
+    let qcfg = QueueConfig::new(engines, policy, load, cfg.seed);
+    let t0 = std::time::Instant::now();
+    let out = run_queue(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw(), &qcfg);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let s = &out.summary;
+    println!("requests:        {} ({} hot seeds)", s.requests, hotspot);
+    println!(
+        "fleet:           {} engines, {} policy, offered load {:.2}",
+        s.engines, s.policy, s.offered_load
+    );
+    println!(
+        "queueing delay:  p50 {} / p95 {} / p99 {} / max {} cycles",
+        s.p50_wait_cycles, s.p95_wait_cycles, s.p99_wait_cycles, s.max_wait_cycles
+    );
+    println!(
+        "end-to-end:      p50 {} / p95 {} / p99 {} / max {} cycles",
+        s.p50_e2e_cycles, s.p95_e2e_cycles, s.p99_e2e_cycles, s.max_e2e_cycles
+    );
+    println!(
+        "fleet health:    makespan {} cycles, utilization {:.1}%, {:.1} req/s at 1 GHz",
+        s.makespan_cycles,
+        s.utilization * 100.0,
+        s.throughput_rps
+    );
+    println!(
+        "warm reuse:      {}/{} lines hit ({:.1}%)",
+        s.warm_hits,
+        s.warm_lines,
+        s.warm_hit_rate * 100.0
+    );
+    for (e, (&busy, &served)) in out.engine_busy.iter().zip(&out.engine_served).enumerate() {
+        println!("  engine {e}: {served} requests, {busy} busy cycles");
+    }
+    println!(
+        "host replay:     {wall:.2}s wall ({:.1} req/s on {} thread(s))",
+        if wall > 0.0 {
+            requests as f64 / wall
+        } else {
+            0.0
+        },
+        sgcn_par::threads()
+    );
+
+    let json = s.to_json(&label);
+    let path = std::env::var("SGCN_QUEUE_OUT").unwrap_or_else(|_| "BENCH_queue.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_queue.json");
+    println!("wrote {path}");
+}

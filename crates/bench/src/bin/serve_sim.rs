@@ -9,8 +9,9 @@
 //! the batch fans out over `sgcn_par::par_map`, which returns results in
 //! stream order — so the file is **byte-identical at any
 //! `SGCN_THREADS`** (wall-clock timings go to stdout only). Knobs:
-//! `SGCN_REQUESTS` (stream length, default 1000), `SGCN_QUICK=1`
-//! (test-scale graph), `SGCN_SERVE_OUT` (output path).
+//! `SGCN_REQUESTS` (stream length, default 1000; 0 renders the all-zero
+//! summary instead of aborting), `SGCN_QUICK=1` (test-scale graph),
+//! `SGCN_SERVE_OUT` (output path).
 
 use sgcn::accel::AccelModel;
 use sgcn::serving::{ServeSummary, ServingConfig, ServingContext};

@@ -174,5 +174,23 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
         exp::serving_lineup(cfg, DatasetId::PubMed, serve_requests)
     )
     .unwrap();
+
+    // Online queueing scenario: the same sampled-request serving path put
+    // behind an open-loop arrival process with multi-engine co-scheduling
+    // (`queue_sim` is the full-stream harness). Both grids share one
+    // prepared stream — the preparation is policy/load/engine
+    // independent.
+    let queue_requests = if quick { 36 } else { 192 };
+    let (policy_grid, engine_grid) = exp::queueing_grids(
+        cfg,
+        DatasetId::PubMed,
+        4,
+        &[0.5, 0.9],
+        &[1, 2, 4, 8],
+        0.8,
+        queue_requests,
+    );
+    writeln!(out, "{policy_grid}").unwrap();
+    writeln!(out, "{engine_grid}").unwrap();
     out
 }

@@ -1106,6 +1106,182 @@ pub fn serving_lineup(cfg: &ExperimentConfig, id: DatasetId, requests: usize) ->
     grid
 }
 
+/// Shared setup for the queueing grids: a serving context on `id` with a
+/// hotspot request stream (shared neighborhoods are what warm reuse and
+/// affinity routing act on) and the stream prepared once — the prepared
+/// reports are policy/load/engine-count independent, so every sweep cell
+/// replays the same prepared vector through the serial event loop.
+fn queueing_setup(cfg: &ExperimentConfig, id: DatasetId, requests: usize) -> QueueingSetup {
+    use crate::serving::queueing::prepare;
+    use crate::serving::{ServingConfig, ServingContext};
+    use sgcn_graph::sampling::Fanouts;
+
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: id,
+        scale: cfg.scale,
+        fanouts: Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    // A hot pool of ~1/6 of the stream: realistic skew (trending seeds)
+    // with enough distinct neighborhoods to keep the schedulers honest.
+    let stream = ctx.hotspot_stream(requests, (requests / 6).max(2));
+    let prepared = prepare(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw());
+    (ctx, prepared)
+}
+
+/// The shared (context, prepared stream) pair behind the queueing grids.
+type QueueingSetup = (
+    crate::serving::ServingContext,
+    Vec<crate::serving::queueing::PreparedRequest>,
+);
+
+/// Renders both queueing grids (policy × offered-load sweep, engine-count
+/// sweep) off one shared preparation — what the full suite calls, since
+/// the expensive half (sampling + cold simulation of the stream) is
+/// identical for every sweep cell of both grids.
+pub fn queueing_grids(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    loads: &[f64],
+    engine_counts: &[usize],
+    load: f64,
+    requests: usize,
+) -> (Grid, Grid) {
+    let setup = queueing_setup(cfg, id, requests);
+    (
+        queueing_policy_sweep_prepared(cfg, id, engines, loads, requests, &setup),
+        queueing_engine_sweep_prepared(cfg, id, engine_counts, load, requests, &setup),
+    )
+}
+
+/// Online queueing (beyond the paper): offered-load sweep × scheduler
+/// policy on one dataset. Rows are `policy @ load`; columns report the
+/// SLO view (p50 queueing delay, p99 end-to-end latency, both in
+/// kilocycles), fleet utilization (%), and the warm-cache hit rate (%) —
+/// the cold-vs-warm reuse measurement.
+pub fn queueing_policy_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    loads: &[f64],
+    requests: usize,
+) -> Grid {
+    queueing_policy_sweep_prepared(
+        cfg,
+        id,
+        engines,
+        loads,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_policy_sweep`] over an already-prepared stream (the setup
+/// is policy/load/engine independent, so callers rendering several
+/// queueing grids share one [`queueing_setup`]).
+fn queueing_policy_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    loads: &[f64],
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{feature_row_bytes, simulate_queue, QueueConfig, SchedPolicy};
+
+    let cols: Vec<String> = ["p50w(kc)", "p99e(kc)", "util%", "warm%"]
+        .map(String::from)
+        .to_vec();
+    let mut rows = Vec::new();
+    for policy in SchedPolicy::ALL {
+        for load in loads {
+            rows.push(format!("{} @{load:.2}", policy.label()));
+        }
+    }
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: policy × offered load on {} ({requests} requests, {engines} engines)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let hw = cfg.hw();
+    let row_bytes = feature_row_bytes(&setup.0);
+    for policy in SchedPolicy::ALL {
+        for &load in loads {
+            let qcfg = QueueConfig::new(engines, policy, load, cfg.seed);
+            let s = simulate_queue(&setup.1, &qcfg, &hw, row_bytes).summary;
+            let row = format!("{} @{load:.2}", policy.label());
+            grid.set(&row, "p50w(kc)", s.p50_wait_cycles as f64 / 1e3);
+            grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
+            grid.set(&row, "util%", s.utilization * 100.0);
+            grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+        }
+    }
+    grid
+}
+
+/// Online queueing (beyond the paper): engine-count sweep under the
+/// cache-affinity policy at a fixed offered load — how co-scheduling
+/// scales the fleet (latency, makespan, utilization, warm reuse).
+pub fn queueing_engine_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engine_counts: &[usize],
+    load: f64,
+    requests: usize,
+) -> Grid {
+    queueing_engine_sweep_prepared(
+        cfg,
+        id,
+        engine_counts,
+        load,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_engine_sweep`] over an already-prepared stream.
+fn queueing_engine_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engine_counts: &[usize],
+    load: f64,
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{feature_row_bytes, simulate_queue, QueueConfig, SchedPolicy};
+
+    let cols: Vec<String> = ["p50e(kc)", "p99e(kc)", "mksp(kc)", "util%", "warm%"]
+        .map(String::from)
+        .to_vec();
+    let rows: Vec<String> = engine_counts.iter().map(|e| format!("E{e}")).collect();
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: engine-count sweep on {} (cache-affinity, load {load:.2}, {requests} requests)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let hw = cfg.hw();
+    let row_bytes = feature_row_bytes(&setup.0);
+    for &engines in engine_counts {
+        let qcfg = QueueConfig::new(engines, SchedPolicy::CacheAffinity, load, cfg.seed);
+        let s = simulate_queue(&setup.1, &qcfg, &hw, row_bytes).summary;
+        let row = format!("E{engines}");
+        grid.set(&row, "p50e(kc)", s.p50_e2e_cycles as f64 / 1e3);
+        grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
+        grid.set(&row, "mksp(kc)", s.makespan_cycles as f64 / 1e3);
+        grid.set(&row, "util%", s.utilization * 100.0);
+        grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+    }
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1353,6 +1529,48 @@ mod tests {
         for m in ["GCNAX", "HyGCN", "AWB-GCN", "EnGN", "I-GCN", "SGCN"] {
             assert!(g.get(m, "p50(kcyc)") > 0.0, "{m}");
             assert!(g.get(m, "krps") > 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn queueing_policy_sweep_affinity_wins_warm_reuse() {
+        let g = queueing_policy_sweep(
+            &ExperimentConfig::quick(),
+            DatasetId::Cora,
+            3,
+            &[0.5, 0.9],
+            30,
+        );
+        for load in ["@0.50", "@0.90"] {
+            let aff = g.get(&format!("cache-affinity {load}"), "warm%");
+            let fifo = g.get(&format!("fifo-rr {load}"), "warm%");
+            assert!(aff >= fifo, "{load}: affinity {aff} < fifo {fifo}");
+            for policy in ["fifo-rr", "least-loaded", "cache-affinity"] {
+                let row = format!("{policy} {load}");
+                let util = g.get(&row, "util%");
+                assert!((0.0..=100.0).contains(&util), "{row}: util {util}");
+                assert!(g.get(&row, "p99e(kc)") > 0.0, "{row}");
+            }
+        }
+        // Heavier offered load cannot shrink queueing delay (same policy).
+        assert!(g.get("least-loaded @0.90", "p50w(kc)") >= g.get("least-loaded @0.50", "p50w(kc)"));
+    }
+
+    #[test]
+    fn queueing_engine_sweep_more_engines_cut_makespan() {
+        let g = queueing_engine_sweep(
+            &ExperimentConfig::quick(),
+            DatasetId::Cora,
+            &[1, 4],
+            0.8,
+            30,
+        );
+        assert!(g.get("E4", "mksp(kc)") <= g.get("E1", "mksp(kc)"));
+        for e in ["E1", "E4"] {
+            let util = g.get(e, "util%");
+            assert!((0.0..=100.0).contains(&util), "{e}: {util}");
+            assert!(g.get(e, "p50e(kc)") > 0.0, "{e}");
+            assert!(g.get(e, "p99e(kc)") >= g.get(e, "p50e(kc)"), "{e}");
         }
     }
 

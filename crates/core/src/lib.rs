@@ -15,7 +15,10 @@
 //! [`experiments`] contains one driver per paper table/figure; the
 //! `sgcn-bench` crate's binaries print them. [`serving`] goes beyond the
 //! paper: GraphSAGE-sampled per-request subgraph inference with latency
-//! percentile / throughput aggregation (the `serve_sim` harness).
+//! percentile / throughput aggregation (the `serve_sim` harness), and
+//! [`serving::queueing`] puts the accelerator behind live traffic — a
+//! seeded open-loop arrival process, N engines with warm caches, and
+//! pluggable co-scheduling policies (the `queue_sim` harness).
 //!
 //! # Quickstart
 //!
@@ -51,5 +54,6 @@ pub mod workload;
 pub use accel::AccelModel;
 pub use config::HwConfig;
 pub use metrics::SimReport;
+pub use serving::queueing::{QueueConfig, QueueOutcome, QueueSummary, SchedPolicy};
 pub use serving::{Request, ServeSummary, ServingConfig, ServingContext};
 pub use workload::Workload;

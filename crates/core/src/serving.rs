@@ -9,7 +9,10 @@
 //! [`Workload`]s (sliced input features + synthesized per-layer trace at
 //! the dataset's sparsity trajectory), replays request batches through
 //! the simulator in parallel, and aggregates per-request [`SimReport`]s
-//! into latency percentiles and throughput ([`ServeSummary`]).
+//! into latency percentiles and throughput ([`ServeSummary`]). The
+//! [`queueing`] submodule layers an *online* view on top: a seeded
+//! open-loop arrival process and an N-engine event-driven scheduler with
+//! pluggable policies, including warm-cache affinity routing.
 //!
 //! # Determinism
 //!
@@ -19,6 +22,8 @@
 //! over [`sgcn_par::par_map`], which returns results in input order — so
 //! a replayed stream is **bit-identical at any thread count**, matching
 //! the experiment drivers' contract.
+
+pub mod queueing;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -156,6 +161,38 @@ impl ServingContext {
             .collect()
     }
 
+    /// A deterministic stream of `n` requests whose seed vertices are
+    /// drawn from a small hot pool of `pool` **distinct** vertices
+    /// (capped at the graph size) — the shared-neighborhood traffic mix
+    /// (trending entities, celebrity vertices) that warm-cache reuse and
+    /// affinity scheduling exploit. The pool and the per-request draws
+    /// derive from the serving seed only, so the stream is position- and
+    /// thread-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool == 0`.
+    pub fn hotspot_stream(&self, n: usize, pool: usize) -> Vec<Request> {
+        assert!(pool > 0, "hotspot pool must be non-empty");
+        let vertices = self.dataset.graph.num_vertices();
+        let pool = pool.min(vertices);
+        // Partial Fisher–Yates: exactly `pool` distinct hot vertices.
+        let mut pool_rng = SmallRng::seed_from_u64(self.config.seed ^ 0x407_5707);
+        let mut ids: Vec<u32> = (0..vertices as u32).collect();
+        for i in 0..pool {
+            let j = pool_rng.gen_range(i..vertices);
+            ids.swap(i, j);
+        }
+        let hot = &ids[..pool];
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x5E_D51E);
+        (0..n)
+            .map(|index| Request {
+                index,
+                seed_vertex: hot[rng.gen_range(0..hot.len())],
+            })
+            .collect()
+    }
+
     /// Samples the request's neighborhood.
     pub fn sample(&self, request: &Request) -> SampledSubgraph {
         sample_neighborhood(
@@ -172,7 +209,14 @@ impl ServingContext {
     /// per-layer trace synthesized at the dataset's published sparsity
     /// trajectory. Pure in `(self, request.seed_vertex)`.
     pub fn build_workload(&self, request: &Request) -> Workload {
-        let sub = self.sample(request);
+        self.build_workload_from(request, self.sample(request))
+    }
+
+    /// [`Self::build_workload`] over an already-sampled neighborhood —
+    /// callers that also need the sample itself (e.g. the queueing
+    /// scheduler's warm-cache probe wants the global vertex ids) sample
+    /// once and build from it instead of re-sampling.
+    pub fn build_workload_from(&self, request: &Request, sub: SampledSubgraph) -> Workload {
         let input = slice_rows(&self.input, &sub.vertices);
         let layers = self.network.layers;
         let targets: Vec<f64> = (0..layers)
@@ -292,14 +336,26 @@ pub struct ServeSummary {
 }
 
 impl ServeSummary {
-    /// Aggregates a batch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reports` is empty — an empty batch has no percentiles.
+    /// Aggregates a batch. An empty batch yields the all-zero summary
+    /// (every field well-defined — no `NaN`/`inf` ever reaches the JSON,
+    /// so `SGCN_REQUESTS=0` renders instead of aborting).
     pub fn from_reports(reports: &[RequestReport]) -> Self {
-        assert!(!reports.is_empty(), "cannot summarize an empty batch");
         let n = reports.len();
+        if n == 0 {
+            return ServeSummary {
+                requests: 0,
+                total_cycles: 0,
+                mean_cycles: 0.0,
+                p50_cycles: 0,
+                p95_cycles: 0,
+                p99_cycles: 0,
+                max_cycles: 0,
+                throughput_rps: 0.0,
+                total_dram_bytes: 0,
+                avg_vertices: 0.0,
+                avg_edges: 0.0,
+            };
+        }
         let mut latencies: Vec<u64> = reports.iter().map(|r| r.report.cycles).collect();
         latencies.sort_unstable();
         let total_cycles: u64 = latencies.iter().sum();
@@ -311,7 +367,13 @@ impl ServeSummary {
             p95_cycles: percentile(&latencies, 95),
             p99_cycles: percentile(&latencies, 99),
             max_cycles: *latencies.last().expect("non-empty"),
-            throughput_rps: n as f64 * 1e9 / total_cycles as f64,
+            // Zero total cycles would render `inf`; define the degenerate
+            // throughput as 0 (the deterministic-JSON guarantee).
+            throughput_rps: if total_cycles == 0 {
+                0.0
+            } else {
+                n as f64 * 1e9 / total_cycles as f64
+            },
             total_dram_bytes: reports.iter().map(|r| r.report.dram_bytes()).sum(),
             avg_vertices: reports.iter().map(|r| r.vertices).sum::<usize>() as f64 / n as f64,
             avg_edges: reports.iter().map(|r| r.edges).sum::<usize>() as f64 / n as f64,
@@ -500,8 +562,90 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty batch")]
-    fn empty_summary_panics() {
-        let _ = ServeSummary::from_reports(&[]);
+    fn empty_summary_is_all_zeros_and_renders_finite_json() {
+        let s = ServeSummary::from_reports(&[]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.total_cycles, 0);
+        assert_eq!(s.mean_cycles, 0.0);
+        assert_eq!(s.max_cycles, 0);
+        assert_eq!(s.throughput_rps, 0.0);
+        assert_eq!(s.avg_vertices, 0.0);
+        let json = s.to_json("empty");
+        assert!(
+            !json.contains("inf") && !json.contains("NaN") && !json.contains("nan"),
+            "{json}"
+        );
+        assert!(json.contains("\"requests\": 0"), "{json}");
+        assert!(json.contains("\"throughput_rps\": 0.000"), "{json}");
+    }
+
+    #[test]
+    fn zero_cycle_reports_yield_zero_throughput_not_inf() {
+        // A degenerate batch whose requests took zero cycles must not
+        // divide by zero: throughput is defined as 0.
+        let rr = RequestReport {
+            request: Request {
+                index: 0,
+                seed_vertex: 0,
+            },
+            vertices: 1,
+            edges: 0,
+            report: crate::metrics::SimReport {
+                accelerator: "test",
+                workload: "WL".into(),
+                cycles: 0,
+                agg_cycles: 0,
+                comb_cycles: 0,
+                mem_cycles: 0,
+                macs: 0,
+                mem: Default::default(),
+                energy: Default::default(),
+                tdp_watts: 0.0,
+                layers: Vec::new(),
+            },
+        };
+        let s = ServeSummary::from_reports(&[rr]);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.throughput_rps, 0.0);
+        assert!(s.mean_cycles == 0.0);
+        let json = s.to_json("degenerate");
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn hotspot_stream_draws_from_a_small_pool() {
+        let ctx = tiny_ctx();
+        let a = ctx.hotspot_stream(64, 4);
+        let b = ctx.hotspot_stream(64, 4);
+        assert_eq!(a, b, "deterministic");
+        let mut distinct: Vec<u32> = a.iter().map(|r| r.seed_vertex).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // 64 draws over a 4-vertex pool cover every pool member with
+        // overwhelming probability, and the pool itself holds exactly 4
+        // distinct vertices (partial Fisher–Yates, no replacement).
+        assert_eq!(distinct.len(), 4, "{} distinct seeds", distinct.len());
+        let n = ctx.dataset.graph.num_vertices();
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert!((r.seed_vertex as usize) < n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot pool")]
+    fn zero_hotspot_pool_panics() {
+        let _ = tiny_ctx().hotspot_stream(4, 0);
+    }
+
+    #[test]
+    fn workload_from_presampled_neighborhood_matches() {
+        let ctx = tiny_ctx();
+        let req = ctx.request_stream(2)[0];
+        let sub = ctx.sample(&req);
+        let a = ctx.build_workload_from(&req, sub);
+        let b = ctx.build_workload(&req);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.graph(), b.graph());
     }
 }

@@ -283,6 +283,25 @@ impl Cache {
         false
     }
 
+    /// Non-mutating presence probe of the line containing `addr`: no
+    /// fill, no promotion, no statistics. The warm-reuse scheduling path
+    /// uses this to *ask* whether a request's working set is resident
+    /// before committing it to an engine.
+    #[inline]
+    pub fn peek(&self, addr: u64) -> bool {
+        self.peek_line(self.line_div.div(addr))
+    }
+
+    /// Non-mutating presence probe by line index (see [`Cache::peek`]).
+    #[inline]
+    pub fn peek_line(&self, line: u64) -> bool {
+        let ways = self.config.ways;
+        let set = self.set_div.rem(line) as usize;
+        let base = set * ways;
+        let n = self.len[set] as usize;
+        self.tags[base..base + n].contains(&line)
+    }
+
     /// Invalidates the line containing `addr` if present (used by streaming
     /// writes that bypass the cache, so later reads see fresh data).
     /// Returns `true` if a line was dropped.
@@ -397,6 +416,18 @@ impl ListCache {
         }
     }
 
+    /// Non-mutating presence probe of the line containing `addr` (see
+    /// [`Cache::peek`] — both engines answer identically).
+    pub fn peek(&self, addr: u64) -> bool {
+        self.peek_line(addr / self.config.line_bytes)
+    }
+
+    /// Non-mutating presence probe by line index.
+    pub fn peek_line(&self, line: u64) -> bool {
+        let set = (line % self.sets as u64) as usize;
+        self.lines[set].contains(&line)
+    }
+
     /// Invalidates the line containing `addr` if present. Returns `true`
     /// if a line was dropped.
     pub fn invalidate(&mut self, addr: u64) -> bool {
@@ -503,6 +534,25 @@ mod tests {
         c.flush();
         assert!(!c.access(0));
         assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn peek_reports_presence_without_touching_state() {
+        let mut c = tiny();
+        assert!(!c.peek(0), "cold cache holds nothing");
+        c.access(0);
+        c.access(256); // same set as line 0 (4 sets, stride 256 B)
+        let before = c.stats();
+        assert!(c.peek(0));
+        assert!(c.peek(256));
+        assert!(!c.peek(512));
+        assert_eq!(c.stats(), before, "peek must not count as an access");
+        // Peek must not promote: line 0 is still LRU, so inserting a third
+        // line into the set evicts it.
+        c.peek(0);
+        c.access(512);
+        assert!(!c.peek(0), "peek promoted the LRU line");
+        assert!(c.peek(256));
     }
 
     #[test]
@@ -642,6 +692,10 @@ mod tests {
                     90..=97 => {
                         let (i1, i2) = (flat.invalidate(addr), list.invalidate(addr));
                         assert_eq!(i1, i2, "{policy:?} op {op}: invalidate({addr}) diverged");
+                    }
+                    98 => {
+                        let (p1, p2) = (flat.peek(addr), list.peek(addr));
+                        assert_eq!(p1, p2, "{policy:?} op {op}: peek({addr}) diverged");
                     }
                     _ => {
                         flat.flush();

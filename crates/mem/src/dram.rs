@@ -339,6 +339,14 @@ impl Dram {
         self.busy.fill(0.0);
         self.bank_busy.fill(0.0);
     }
+
+    /// Zeroes the counters and clocks but keeps the open-row state — the
+    /// warm-reuse hook: a serving engine that survives across requests
+    /// starts each request with fresh statistics on a warm device.
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+        self.reset_time();
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,20 @@ impl CacheImpl {
             CacheImpl::List(c) => c.stats(),
         }
     }
+
+    fn peek_line(&self, line: u64) -> bool {
+        match self {
+            CacheImpl::Flat(c) => c.peek_line(line),
+            CacheImpl::List(c) => c.peek_line(line),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            CacheImpl::Flat(c) => c.reset_stats(),
+            CacheImpl::List(c) => c.reset_stats(),
+        }
+    }
 }
 
 /// The memory hierarchy: global cache in front of HBM.
@@ -247,6 +261,37 @@ impl MemorySystem {
     /// Reads `bytes` bytes at `addr` through the cache; misses go to DRAM.
     pub fn read(&mut self, addr: u64, bytes: u64, kind: Traffic) {
         self.read_span(addr, bytes, kind);
+    }
+
+    /// Non-mutating residency probe of a span: how many of its lines a
+    /// read *would* hit right now. No fill, no promotion, no counters —
+    /// the scheduling half of the warm-reuse hooks (a cache-affinity
+    /// scheduler peeks every engine before committing a request to one).
+    pub fn peek_span(&self, addr: u64, bytes: u64) -> SpanCounts {
+        if bytes == 0 {
+            return SpanCounts::default();
+        }
+        let (first, last) = self.line_range(addr, bytes);
+        let lines = last - first + 1;
+        let hits = (first..=last)
+            .filter(|&line| self.cache.peek_line(line))
+            .count() as u64;
+        SpanCounts {
+            lines,
+            hits,
+            misses: lines - hits,
+        }
+    }
+
+    /// Zeroes every counter (cache, DRAM, per-class) and the DRAM service
+    /// clocks while keeping the cache contents and open-row state — the
+    /// reset half of the warm-reuse hooks: an engine serving a request
+    /// stream resets between requests so each request reads fresh
+    /// statistics off a warm hierarchy.
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+        self.dram.reset_stats();
+        self.per_class = [TrafficStats::default(); 5];
     }
 
     /// Reads a span bypassing the cache — streaming accesses (e.g.
@@ -559,6 +604,48 @@ mod tests {
         l.sort_unstable();
         l.dedup();
         assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn peek_span_counts_residency_without_mutating() {
+        let mut m = sys();
+        assert_eq!(
+            m.peek_span(0, 256),
+            SpanCounts {
+                lines: 4,
+                hits: 0,
+                misses: 4
+            }
+        );
+        m.read(0, 128, Traffic::FeatureRead);
+        let before = m.report();
+        let p = m.peek_span(0, 256);
+        assert_eq!(
+            p,
+            SpanCounts {
+                lines: 4,
+                hits: 2,
+                misses: 2
+            }
+        );
+        assert_eq!(m.report(), before, "peek must leave every counter alone");
+        assert_eq!(m.peek_span(0, 0), SpanCounts::default());
+    }
+
+    #[test]
+    fn reset_stats_keeps_cache_warm() {
+        let mut m = sys();
+        m.read(0, 256, Traffic::FeatureRead);
+        m.reset_stats();
+        let r = m.report();
+        assert_eq!(r.cache.accesses(), 0);
+        assert_eq!(r.dram_total_bytes(), 0);
+        assert_eq!(r.traffic(Traffic::FeatureRead).requests, 0);
+        assert_eq!(m.elapsed_dram_cycles(), 0);
+        // The lines survived the reset: a re-read is all hits.
+        let warm = m.read_span(0, 256, Traffic::FeatureRead);
+        assert_eq!(warm.hits, 4);
+        assert_eq!(m.report().dram_total_bytes(), 0);
     }
 
     #[test]

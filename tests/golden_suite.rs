@@ -125,13 +125,43 @@ fn check_serve_summary_golden() {
     assert_matches_golden("serve_quick.json", &json);
 }
 
+/// The queueing summary JSON (a hotspot stream through the three-policy
+/// scheduler at quick scale) must match its snapshot — pinning the
+/// arrival process, the warm-cache event loop, and the affinity policy
+/// in one trace. Called from the single env-touching test below for the
+/// same reason as [`check_serve_summary_golden`].
+fn check_queue_summary_golden() {
+    use sgcn::accel::AccelModel;
+    use sgcn::serving::queueing::{run_queue, QueueConfig, SchedPolicy};
+    use sgcn::serving::{ServingConfig, ServingContext};
+
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts: sgcn_graph::sampling::Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.hotspot_stream(60, 10);
+    let out = run_queue(
+        &ctx,
+        &stream,
+        &AccelModel::sgcn(),
+        &cfg.hw(),
+        &QueueConfig::new(4, SchedPolicy::CacheAffinity, 0.8, cfg.seed),
+    );
+    let json = out.summary.to_json("PM fanout 10x5 SGCN x4 cache-affinity");
+    assert_matches_golden("queue_quick.json", &json);
+}
+
 /// The full rendered quick suite must match the snapshot on both the
 /// default (fast) path and the `SGCN_NAIVE=1` seed-replay path, and the
-/// serving summary must match its snapshot. Everything that reads the
-/// environment runs inside this **one** test: `SGCN_NAIVE` is process
-/// state, and sibling tests in this binary would race the mutation
-/// (`line_diff_reports_changed_lines` below is pure, so it may stay
-/// separate).
+/// serving and queueing summaries must match their snapshots. Everything
+/// that reads the environment runs inside this **one** test: `SGCN_NAIVE`
+/// is process state, and sibling tests in this binary would race the
+/// mutation (`line_diff_reports_changed_lines` below is pure, so it may
+/// stay separate).
 #[test]
 fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
     let cfg = ExperimentConfig::quick();
@@ -140,6 +170,7 @@ fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
     let fast = sgcn_bench::run_suite(&cfg, &datasets, true);
     assert_matches_golden("quick_suite.txt", &fast);
     check_serve_summary_golden();
+    check_queue_summary_golden();
 
     std::env::set_var("SGCN_NAIVE", "1");
     let naive = sgcn_bench::run_suite(&cfg, &datasets, true);

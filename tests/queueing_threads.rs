@@ -1,0 +1,59 @@
+//! Queueing thread-count equivalence on the real serving path. This is
+//! the **only** test in this binary: `SGCN_THREADS` is process state,
+//! and any sibling test reaching `par_map` (or anything else that reads
+//! the environment) would race the `set_var` calls — the same
+//! one-env-test discipline as `thread_equivalence.rs` and
+//! `golden_suite.rs`. Integration-test binaries are separate processes,
+//! so the env-free queueing properties live in `queueing.rs` instead.
+
+use sgcn::accel::AccelModel;
+use sgcn::experiments::ExperimentConfig;
+use sgcn::serving::queueing::{
+    feature_row_bytes, prepare, simulate_queue, QueueConfig, SchedPolicy,
+};
+use sgcn::serving::{ServingConfig, ServingContext};
+use sgcn::HwConfig;
+use sgcn_graph::datasets::DatasetId;
+use sgcn_graph::sampling::Fanouts;
+
+/// One full queueing run on the real serving path (hotspot stream, three
+/// policies), returning every byte that lands in `BENCH_queue.json`.
+fn queue_probe() -> Vec<String> {
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::Cora,
+        scale: cfg.scale,
+        fanouts: Fanouts::new(vec![8, 4]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.hotspot_stream(30, 5);
+    let hw = HwConfig::default();
+    let prepared = prepare(&ctx, &stream, &AccelModel::sgcn(), &hw);
+    let row = feature_row_bytes(&ctx);
+    SchedPolicy::ALL
+        .iter()
+        .map(|&policy| {
+            let out = simulate_queue(&prepared, &QueueConfig::new(3, policy, 0.8, 7), &hw, row);
+            out.summary.to_json(policy.label())
+        })
+        .collect()
+}
+
+#[test]
+fn forced_worker_counts_produce_identical_queue_json() {
+    std::env::set_var("SGCN_THREADS", "1");
+    assert_eq!(sgcn_par::threads(), 1);
+    let serial = queue_probe();
+
+    for workers in ["2", "4"] {
+        std::env::set_var("SGCN_THREADS", workers);
+        assert_eq!(sgcn_par::threads(), workers.parse::<usize>().unwrap());
+        assert_eq!(
+            queue_probe(),
+            serial,
+            "SGCN_THREADS={workers} changed the queue summaries"
+        );
+    }
+    std::env::remove_var("SGCN_THREADS");
+}
