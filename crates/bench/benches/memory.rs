@@ -1,9 +1,11 @@
 //! Criterion microbenches for the memory hierarchy: cache probe
-//! throughput and DRAM model service accounting.
+//! throughput, DRAM model service accounting, and the line-run
+//! compaction replay vs the span-at-a-time path.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sgcn_formats::{LineRun, RunCompactor, Span};
 use sgcn_mem::{
     Cache, CacheConfig, CacheEngine, Dram, DramConfig, ListCache, MemorySystem, Traffic,
 };
@@ -94,6 +96,95 @@ fn bench_spans(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole's line-granular compaction: replaying a BEICSR-shaped
+/// span stream (bitmap head + adjacent value window per row, sharing a
+/// seam line) through `access_lines` as pre-compacted runs vs issuing
+/// each span through `read_span`. Both produce bit-identical counters;
+/// the run path pays one batched probe/DRAM walk per run.
+fn bench_line_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("line_run_replay");
+    // 5k "row reads", each two spans: a 12 B bitmap head followed
+    // byte-adjacently by a ~200 B value window (they share a seam line).
+    let mut rng = SmallRng::seed_from_u64(21);
+    let rows: Vec<u64> = (0..5_000)
+        .map(|_| rng.gen_range(0u64..1 << 14) * 512)
+        .collect();
+    let spans: Vec<[Span; 2]> = rows
+        .iter()
+        .map(|&base| [Span::new(base, 12), Span::new(base + 12, 200)])
+        .collect();
+    let mem = || {
+        MemorySystem::with_engine(
+            CacheConfig::with_capacity_kib(64),
+            DramConfig::hbm2(),
+            CacheEngine::Flat,
+        )
+    };
+    g.throughput(Throughput::Elements(5_000));
+    g.bench_function("span_at_a_time", |b| {
+        let mut m = mem();
+        b.iter(|| {
+            let mut counts = sgcn_mem::SpanCounts::default();
+            for pair in &spans {
+                for &s in pair {
+                    counts.add(m.read_span(s.offset, u64::from(s.bytes), Traffic::FeatureRead));
+                }
+            }
+            counts
+        })
+    });
+    g.bench_function("compact_then_replay", |b| {
+        let mut m = mem();
+        b.iter(|| {
+            let mut counts = sgcn_mem::SpanCounts::default();
+            for pair in &spans {
+                let mut compactor = RunCompactor::reads(64);
+                let mut runs: [LineRun; 2] = [LineRun::default(); 2];
+                let mut n = 0usize;
+                for &s in pair {
+                    compactor.push(s, &mut |r| {
+                        runs[n] = r;
+                        n += 1;
+                    });
+                }
+                compactor.finish(&mut |r| {
+                    runs[n] = r;
+                    n += 1;
+                });
+                for &r in &runs[..n] {
+                    counts.add(m.access_lines(0, r, Traffic::FeatureRead));
+                }
+            }
+            counts
+        })
+    });
+    g.bench_function("precompacted_replay", |b| {
+        // The aggregation sweep's memoized steady state: runs compacted
+        // once, replayed many times.
+        let runs: Vec<LineRun> = spans
+            .iter()
+            .map(|pair| {
+                let mut out = LineRun::default();
+                let mut compactor = RunCompactor::reads(64);
+                for &s in pair {
+                    compactor.push(s, &mut |r| out = r);
+                }
+                compactor.finish(&mut |r| out = r);
+                out
+            })
+            .collect();
+        let mut m = mem();
+        b.iter(|| {
+            let mut counts = sgcn_mem::SpanCounts::default();
+            for &r in &runs {
+                counts.add(m.access_lines(0, r, Traffic::FeatureRead));
+            }
+            counts
+        })
+    });
+    g.finish();
+}
+
 fn bench_dram(c: &mut Criterion) {
     let mut g = c.benchmark_group("dram");
     g.throughput(Throughput::Elements(10_000));
@@ -102,6 +193,17 @@ fn bench_dram(c: &mut Criterion) {
         b.iter(|| {
             for i in 0..10_000u64 {
                 dram.access(i * 64, false);
+            }
+            dram.elapsed_cycles()
+        })
+    });
+    g.bench_function("streaming_burst_runs", |b| {
+        // The batched walk behind uncached streams and miss runs —
+        // bit-identical clocks/counters to per-burst `access`.
+        let mut dram = Dram::new(DramConfig::hbm2());
+        b.iter(|| {
+            for chunk in 0..10u64 {
+                dram.access_run(chunk * 64_000, 1_000, 64, false);
             }
             dram.elapsed_cycles()
         })
@@ -127,5 +229,12 @@ fn bench_system(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_spans, bench_dram, bench_system);
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_spans,
+    bench_line_runs,
+    bench_dram,
+    bench_system
+);
 criterion_main!(benches);

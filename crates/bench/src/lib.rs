@@ -174,6 +174,12 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
         exp::serving_lineup(cfg, DatasetId::PubMed, serve_requests)
     )
     .unwrap();
+    writeln!(
+        out,
+        "{}",
+        exp::serving_batch_sweep(cfg, DatasetId::PubMed, &[1, 4, 16, 64], serve_requests)
+    )
+    .unwrap();
 
     // Online queueing scenario: the same sampled-request serving path put
     // behind an open-loop arrival process with multi-engine co-scheduling

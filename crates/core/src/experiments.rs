@@ -301,6 +301,20 @@ mod memo {
         )
     }
 
+    /// Empties the workload and report tables (workloads carry their
+    /// per-boundary format caches with them, so those drop too). The
+    /// perf harness calls this between repetitions so every repetition
+    /// measures a cold-cache suite; results are unaffected either way —
+    /// the memos only ever recall bit-identical values.
+    pub fn reset_driver_caches() {
+        if let Some(w) = workload_memo() {
+            w.clear();
+        }
+        if let Some(r) = REPORTS.get() {
+            r.clear();
+        }
+    }
+
     /// Runs (or recalls) one Fig. 3-style format study point.
     pub(super) fn format_study(kind: FormatKind, wl: &CachedWorkload, hw: &HwConfig) -> SimReport {
         if hw.is_naive() {
@@ -314,6 +328,7 @@ mod memo {
     }
 }
 
+pub use memo::reset_driver_caches;
 use memo::CachedWorkload;
 
 /// Builds the standard workload for every dataset, in parallel (memoized
@@ -1102,6 +1117,63 @@ pub fn serving_lineup(cfg: &ExperimentConfig, id: DatasetId, requests: usize) ->
         grid.set(m.name, "p50(kcyc)", s.p50_cycles as f64 / 1e3);
         grid.set(m.name, "p99(kcyc)", s.p99_cycles as f64 / 1e3);
         grid.set(m.name, "krps", s.throughput_rps / 1e3);
+    }
+    grid
+}
+
+/// Serving scenario: microbatch size sweep — one engine serves the
+/// stream in fixed-size batches that amortize the per-layer weight
+/// stream (requests after a batch's first find the weights on chip; see
+/// [`crate::serving::amortized_batch_latencies`]). Latencies in
+/// kilocycles, throughput in krequests/s, plus the mean latency saving
+/// over batch = 1 in percent.
+pub fn serving_batch_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    batch_sizes: &[usize],
+    requests: usize,
+) -> Grid {
+    use crate::serving::{amortized_batch_latencies, ServeSummary, ServingConfig, ServingContext};
+    use sgcn_graph::sampling::Fanouts;
+
+    let cols: Vec<String> = ["p50(kcyc)", "p99(kcyc)", "krps", "saved%"]
+        .map(String::from)
+        .to_vec();
+    let rows: Vec<String> = batch_sizes.iter().map(|b| format!("batch {b}")).collect();
+    let mut grid = Grid::new(
+        format!(
+            "Serving: weight-stream amortization vs batch size on {} ({requests} requests)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let hw = cfg.hw();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: id,
+        scale: cfg.scale,
+        fanouts: Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.request_stream(requests);
+    // The cold replay is batch-size independent: serve once, then apply
+    // each batching schedule to the same reports.
+    let batch = ctx.serve_batch(&stream, &AccelModel::sgcn(), &hw);
+    let cold = ServeSummary::from_reports(&batch);
+    for &b in batch_sizes {
+        let latencies = amortized_batch_latencies(&batch, b, &hw);
+        let s = ServeSummary::from_reports_with_latencies(&batch, latencies);
+        let row = format!("batch {b}");
+        grid.set(&row, "p50(kcyc)", s.p50_cycles as f64 / 1e3);
+        grid.set(&row, "p99(kcyc)", s.p99_cycles as f64 / 1e3);
+        grid.set(&row, "krps", s.throughput_rps / 1e3);
+        let saved = if cold.mean_cycles > 0.0 {
+            100.0 * (1.0 - s.mean_cycles / cold.mean_cycles)
+        } else {
+            0.0
+        };
+        grid.set(&row, "saved%", saved);
     }
     grid
 }

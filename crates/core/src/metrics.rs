@@ -2,6 +2,29 @@
 
 use sgcn_mem::{EnergyBreakdown, MemReport, Traffic};
 
+/// Process-wide wall-clock accounting of time spent *inside* the
+/// dataflow simulator (`AccelModel::simulate` bodies), summed across
+/// threads. Everything a driver does outside of it — graph synthesis,
+/// trace generation, format encoding, sampling, rendering — is
+/// "prepare" time by subtraction. The perf harness (`bench_sim`) reads
+/// this to attribute wall time per stage; the counter never influences
+/// simulation results.
+pub mod timing {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SIM_NANOS: AtomicU64 = AtomicU64::new(0);
+
+    /// Nanoseconds spent inside the simulator so far (process lifetime).
+    pub fn simulate_nanos() -> u64 {
+        SIM_NANOS.load(Ordering::Relaxed)
+    }
+
+    /// Books one simulation's elapsed wall time.
+    pub(crate) fn add_simulate_nanos(nanos: u64) {
+        SIM_NANOS.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
 /// Per-layer slice of a simulation (layers are the natural unit of the
 /// paper's pipeline: Fig. 10 shows one layer's flow end to end).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -237,6 +237,7 @@ impl ServingContext {
             },
             network: self.network,
             trace,
+            format_cache: Default::default(),
         }
     }
 
@@ -335,11 +336,59 @@ pub struct ServeSummary {
     pub avg_edges: f64,
 }
 
+/// Per-request latencies when the stream is served in fixed-size
+/// microbatches that **amortize the weight stream**: requests in one
+/// batch run the same network back to back on one engine, so every
+/// request after the batch's first finds the layer weights already on
+/// chip and shaves the weight-fetch DRAM time (the weight DRAM bytes its
+/// cold run actually paid, at the device's effective bandwidth) off its
+/// latency — the same displacement model the queueing simulator uses for
+/// warm feature reuse. `batch_size == 1` (or `0`, treated as 1) returns
+/// the cold latencies unchanged. Pure per index, so summaries built from
+/// it stay bit-identical across thread counts.
+///
+/// Only the latency view changes: traffic counters keep describing the
+/// cold runs (the bytes a request *would* move standalone).
+pub fn amortized_batch_latencies(
+    reports: &[RequestReport],
+    batch_size: usize,
+    hw: &HwConfig,
+) -> Vec<u64> {
+    let batch = batch_size.max(1);
+    let effective_bw = hw.dram.peak_bytes_per_cycle * hw.dram.efficiency;
+    reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let cold = r.report.cycles;
+            if i % batch == 0 || effective_bw <= 0.0 {
+                return cold;
+            }
+            let saved_bytes = r.report.mem.traffic(sgcn_mem::Traffic::Weight).dram_bytes;
+            let saved = (saved_bytes as f64 / effective_bw).floor() as u64;
+            cold.saturating_sub(saved).max(1)
+        })
+        .collect()
+}
+
 impl ServeSummary {
     /// Aggregates a batch. An empty batch yields the all-zero summary
     /// (every field well-defined — no `NaN`/`inf` ever reaches the JSON,
     /// so `SGCN_REQUESTS=0` renders instead of aborting).
     pub fn from_reports(reports: &[RequestReport]) -> Self {
+        let latencies: Vec<u64> = reports.iter().map(|r| r.report.cycles).collect();
+        Self::from_reports_with_latencies(reports, latencies)
+    }
+
+    /// Aggregates a batch under substituted per-request latencies (e.g.
+    /// [`amortized_batch_latencies`]); traffic/size fields still come
+    /// from the reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies` and `reports` disagree in length.
+    pub fn from_reports_with_latencies(reports: &[RequestReport], mut latencies: Vec<u64>) -> Self {
+        assert_eq!(reports.len(), latencies.len(), "one latency per request");
         let n = reports.len();
         if n == 0 {
             return ServeSummary {
@@ -356,7 +405,6 @@ impl ServeSummary {
                 avg_edges: 0.0,
             };
         }
-        let mut latencies: Vec<u64> = reports.iter().map(|r| r.report.cycles).collect();
         latencies.sort_unstable();
         let total_cycles: u64 = latencies.iter().sum();
         ServeSummary {

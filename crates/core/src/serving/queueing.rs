@@ -41,6 +41,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sgcn_formats::LineRun;
 use sgcn_mem::{CacheConfig, MemorySystem, SpanCounts, Traffic};
 use sgcn_par::par_map;
 
@@ -365,11 +366,17 @@ pub fn simulate_queue(
         // Fresh per-request counters on a warm hierarchy (contents and
         // open rows survive; see MemorySystem::reset_stats).
         eng.mem.reset_stats();
+        // Feature rows are line-aligned (`row_stride` pads to a line
+        // multiple), so each row is one pre-compacted line run — the
+        // same batched replay the dataflow simulator uses
+        // (`MemorySystem::access_lines`), bit-identical to the per-span
+        // path.
+        let lines_per_row = row_stride / line_bytes;
         let mut warm = SpanCounts::default();
         for &v in &p.vertices {
-            warm.add(eng.mem.read_span(
-                u64::from(v) * row_stride,
-                row_stride,
+            warm.add(eng.mem.access_lines(
+                0,
+                LineRun::contiguous(u64::from(v) * lines_per_row, lines_per_row),
                 Traffic::FeatureRead,
             ));
         }

@@ -1,11 +1,85 @@
 //! Workloads: a dataset topology plus a traced deep-GCN inference.
 
-use sgcn_formats::DenseMatrix;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use sgcn_formats::{Beicsr, BeicsrConfig, CsrFeatures, DenseMatrix, FeatureFormat, FormatKind};
 use sgcn_graph::builder::Normalization;
 use sgcn_graph::datasets::{Dataset, DatasetId, SynthScale};
 use sgcn_graph::CsrGraph;
 use sgcn_model::features::generate_input_features;
 use sgcn_model::{GcnVariant, ModelTrace, NetworkConfig, ReferenceExecutor};
+
+/// Identifies one cached boundary encoding: the matrix between layers
+/// `b - 1` and `b` (trace index `b`) under one storage choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum FormatKey {
+    /// BEICSR storage under a specific config.
+    Beicsr(usize, BeicsrConfig),
+    /// A Fig. 3-style study format.
+    Kind(usize, FormatKind),
+    /// CSR of an extremely sparse input matrix (§V-F first-layer path).
+    Csr(usize),
+}
+
+/// One cached encoding (the variant is implied by its [`FormatKey`]).
+#[derive(Clone)]
+pub(crate) enum CachedFormat {
+    Beicsr(Arc<Beicsr>),
+    Generic(Arc<dyn FeatureFormat + Send + Sync>),
+    Csr(Arc<CsrFeatures>),
+}
+
+/// Per-workload storage-encoding cache, shared by every simulation of the
+/// same (possibly cloned) workload. Encodings are pure functions of
+/// `(matrix, storage config)`, so recalling one returns a bit-identical
+/// format — the driver sweeps (cache sizes, strip heights, HBM
+/// generations, SAC on/off, …) re-simulate the same workload under many
+/// hardware/model variants and previously re-encoded every boundary each
+/// time. Bounded: past [`FormatCache::CAP`] entries new encodings are
+/// simply not cached (the early cross-sweep encodings stay hot). The
+/// naive path (`SGCN_NAIVE=1`) never consults it.
+#[derive(Clone, Default)]
+pub(crate) struct FormatCache {
+    inner: Arc<Mutex<HashMap<FormatKey, CachedFormat>>>,
+}
+
+impl FormatCache {
+    /// Entry cap: one entry is one encoded boundary matrix (comparable in
+    /// size to the dense matrix itself), so the cap bounds the cache to a
+    /// small multiple of the trace it shadows.
+    const CAP: usize = 192;
+
+    /// Recalls or builds (and, below the cap, stores) an encoding.
+    pub(crate) fn get_or_build(
+        &self,
+        key: FormatKey,
+        build: impl FnOnce() -> CachedFormat,
+    ) -> CachedFormat {
+        if let Some(hit) = self.inner.lock().expect("format cache poisoned").get(&key) {
+            return hit.clone();
+        }
+        // Encode outside the lock (concurrent builders of the same key
+        // duplicate the work once; first insert wins).
+        let built = build();
+        let mut map = self.inner.lock().expect("format cache poisoned");
+        if let Some(hit) = map.get(&key) {
+            return hit.clone();
+        }
+        if map.len() < Self::CAP {
+            map.insert(key, built.clone());
+        }
+        built
+    }
+}
+
+impl fmt::Debug for FormatCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.inner.lock().map(|m| m.len()).unwrap_or(0);
+        write!(f, "FormatCache({n} entries)")
+    }
+}
 
 /// Everything an accelerator simulation consumes: the (scaled) topology,
 /// the network shape, and the per-layer feature matrices with their
@@ -18,6 +92,8 @@ pub struct Workload {
     pub network: NetworkConfig,
     /// Per-layer feature matrices (index 0 = input `X¹`).
     pub trace: ModelTrace,
+    /// Cached per-boundary storage encodings (fast path only).
+    pub(crate) format_cache: FormatCache,
 }
 
 impl Workload {
@@ -52,6 +128,7 @@ impl Workload {
             dataset,
             network,
             trace,
+            format_cache: FormatCache::default(),
         }
     }
 
@@ -78,6 +155,7 @@ impl Workload {
             dataset,
             network,
             trace,
+            format_cache: FormatCache::default(),
         }
     }
 

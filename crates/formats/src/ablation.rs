@@ -106,42 +106,58 @@ impl FeatureFormat for SeparateBitmapCsr {
         self.values_base() + self.rows as u64 * self.slot_bytes
     }
 
+    // The allocating span methods collect from the visitors below, so the
+    // span arithmetic has a single source of truth.
     fn row_spans(&self, row: usize) -> Vec<Span> {
-        assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        let mut spans = vec![Span::new(
-            self.bitmap_offset(row),
-            self.bitmap_bytes_per_row as u32,
-        )];
-        let nnz = u64::from(self.nnz[row]);
-        if nnz > 0 {
-            spans.push(Span::new(self.value_offset(row), (nnz * ELEM_BYTES) as u32));
-        }
+        let mut spans = Vec::with_capacity(2);
+        self.for_each_row_span(row, &mut |s| spans.push(s));
         spans
     }
 
     fn slice_spans(&self, row: usize, range: ColRange) -> Vec<Span> {
-        let range = range.clamp_to(self.cols);
-        if range.is_empty() {
-            return Vec::new();
-        }
-        let bm = &self.bitmaps[row];
-        let lo = bm.rank(range.start);
-        let hi = bm.rank(range.end);
-        let mut spans = vec![Span::new(
-            self.bitmap_offset(row),
-            self.bitmap_bytes_per_row as u32,
-        )];
-        if hi > lo {
-            spans.push(Span::new(
-                self.value_offset(row) + lo as u64 * ELEM_BYTES,
-                ((hi - lo) as u64 * ELEM_BYTES) as u32,
-            ));
-        }
+        let mut spans = Vec::with_capacity(2);
+        self.for_each_slice_span(row, range, &mut |s| spans.push(s));
         spans
     }
 
     fn write_spans(&self, row: usize) -> Vec<Span> {
         self.row_spans(row)
+    }
+
+    fn for_each_row_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        f(Span::new(
+            self.bitmap_offset(row),
+            self.bitmap_bytes_per_row as u32,
+        ));
+        let nnz = u64::from(self.nnz[row]);
+        if nnz > 0 {
+            f(Span::new(self.value_offset(row), (nnz * ELEM_BYTES) as u32));
+        }
+    }
+
+    fn for_each_slice_span(&self, row: usize, range: ColRange, f: &mut dyn FnMut(Span)) {
+        let range = range.clamp_to(self.cols);
+        if range.is_empty() {
+            return;
+        }
+        let bm = &self.bitmaps[row];
+        let lo = bm.rank(range.start);
+        let hi = bm.rank(range.end);
+        f(Span::new(
+            self.bitmap_offset(row),
+            self.bitmap_bytes_per_row as u32,
+        ));
+        if hi > lo {
+            f(Span::new(
+                self.value_offset(row) + lo as u64 * ELEM_BYTES,
+                ((hi - lo) as u64 * ELEM_BYTES) as u32,
+            ));
+        }
+    }
+
+    fn for_each_write_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        self.for_each_row_span(row, f);
     }
 
     fn decode_row(&self, row: usize) -> Vec<f32> {
@@ -230,35 +246,17 @@ impl FeatureFormat for PackedBeicsr {
         self.indirection_base() + (self.rows as u64 + 1) * 8
     }
 
+    // The allocating span methods collect from the visitors below, so the
+    // span arithmetic has a single source of truth.
     fn row_spans(&self, row: usize) -> Vec<Span> {
-        assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        // Indirection lookup first (two row pointers), then the unaligned
-        // packed record.
-        vec![
-            Span::new(self.indirection_base() + row as u64 * 8, 16),
-            Span::new(self.row_offsets[row], self.record_bytes(row) as u32),
-        ]
+        let mut spans = Vec::with_capacity(2);
+        self.for_each_row_span(row, &mut |s| spans.push(s));
+        spans
     }
 
     fn slice_spans(&self, row: usize, range: ColRange) -> Vec<Span> {
-        let range = range.clamp_to(self.cols);
-        if range.is_empty() {
-            return Vec::new();
-        }
-        let bm = &self.bitmaps[row];
-        let lo = bm.rank(range.start);
-        let hi = bm.rank(range.end);
-        let base = self.row_offsets[row];
-        let mut spans = vec![
-            Span::new(self.indirection_base() + row as u64 * 8, 16),
-            Span::new(base, self.bitmap_bytes_per_row as u32),
-        ];
-        if hi > lo {
-            spans.push(Span::new(
-                base + self.bitmap_bytes_per_row + lo as u64 * ELEM_BYTES,
-                ((hi - lo) as u64 * ELEM_BYTES) as u32,
-            ));
-        }
+        let mut spans = Vec::with_capacity(3);
+        self.for_each_slice_span(row, range, &mut |s| spans.push(s));
         spans
     }
 
@@ -267,6 +265,40 @@ impl FeatureFormat for PackedBeicsr {
         // — this is the serialization the paper rejects; traffic-wise the
         // record plus the updated row pointer is charged.
         self.row_spans(row)
+    }
+
+    fn for_each_row_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        // Indirection lookup first (two row pointers), then the unaligned
+        // packed record.
+        f(Span::new(self.indirection_base() + row as u64 * 8, 16));
+        f(Span::new(
+            self.row_offsets[row],
+            self.record_bytes(row) as u32,
+        ));
+    }
+
+    fn for_each_slice_span(&self, row: usize, range: ColRange, f: &mut dyn FnMut(Span)) {
+        let range = range.clamp_to(self.cols);
+        if range.is_empty() {
+            return;
+        }
+        let bm = &self.bitmaps[row];
+        let lo = bm.rank(range.start);
+        let hi = bm.rank(range.end);
+        let base = self.row_offsets[row];
+        f(Span::new(self.indirection_base() + row as u64 * 8, 16));
+        f(Span::new(base, self.bitmap_bytes_per_row as u32));
+        if hi > lo {
+            f(Span::new(
+                base + self.bitmap_bytes_per_row + lo as u64 * ELEM_BYTES,
+                ((hi - lo) as u64 * ELEM_BYTES) as u32,
+            ));
+        }
+    }
+
+    fn for_each_write_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        self.for_each_row_span(row, f);
     }
 
     fn decode_row(&self, row: usize) -> Vec<f32> {

@@ -140,51 +140,67 @@ impl FeatureFormat for BsrFeatures {
         self.vals_base() + self.stored_blocks() as u64 * self.block_bytes()
     }
 
+    // The allocating span methods collect from the visitors below, so the
+    // span arithmetic has a single source of truth.
     fn row_spans(&self, row: usize) -> Vec<Span> {
-        // A row passes through every stored block of its block-row, and each
-        // block is fetched whole (the zero rows of the block ride along —
-        // that is BSR's cost at unstructured sparsity).
-        let (s, e) = self.block_row_bounds(row);
-        let bri = row / self.br;
-        let mut spans = vec![Span::new(bri as u64 * 4, 8)];
-        if e > s {
-            spans.push(Span::new(
-                self.idx_base() + s as u64 * 4,
-                ((e - s) * 4) as u32,
-            ));
-            spans.push(Span::new(
-                self.vals_base() + s as u64 * self.block_bytes(),
-                ((e - s) as u64 * self.block_bytes()) as u32,
-            ));
-        }
+        let mut spans = Vec::with_capacity(3);
+        self.for_each_row_span(row, &mut |s| spans.push(s));
         spans
     }
 
     fn slice_spans(&self, row: usize, range: ColRange) -> Vec<Span> {
-        let (s, e) = self.block_row_bounds(row);
-        let bri = row / self.br;
-        let cols = &self.block_cols[s..e];
-        let lo = cols.partition_point(|&c| ((c as usize + 1) * self.bc) <= range.start);
-        let hi = cols.partition_point(|&c| (c as usize * self.bc) < range.end);
-        let mut spans = vec![Span::new(bri as u64 * 4, 8)];
-        if e > s {
-            // Scan the block-row's indices to find the window.
-            spans.push(Span::new(
-                self.idx_base() + s as u64 * 4,
-                ((e - s) * 4) as u32,
-            ));
-        }
-        if hi > lo {
-            spans.push(Span::new(
-                self.vals_base() + (s + lo) as u64 * self.block_bytes(),
-                ((hi - lo) as u64 * self.block_bytes()) as u32,
-            ));
-        }
+        let mut spans = Vec::with_capacity(3);
+        self.for_each_slice_span(row, range, &mut |s| spans.push(s));
         spans
     }
 
     fn write_spans(&self, row: usize) -> Vec<Span> {
         self.row_spans(row)
+    }
+
+    fn for_each_row_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        // A row passes through every stored block of its block-row, and each
+        // block is fetched whole (the zero rows of the block ride along —
+        // that is BSR's cost at unstructured sparsity).
+        let (s, e) = self.block_row_bounds(row);
+        let bri = row / self.br;
+        f(Span::new(bri as u64 * 4, 8));
+        if e > s {
+            f(Span::new(
+                self.idx_base() + s as u64 * 4,
+                ((e - s) * 4) as u32,
+            ));
+            f(Span::new(
+                self.vals_base() + s as u64 * self.block_bytes(),
+                ((e - s) as u64 * self.block_bytes()) as u32,
+            ));
+        }
+    }
+
+    fn for_each_slice_span(&self, row: usize, range: ColRange, f: &mut dyn FnMut(Span)) {
+        let (s, e) = self.block_row_bounds(row);
+        let bri = row / self.br;
+        let cols = &self.block_cols[s..e];
+        let lo = cols.partition_point(|&c| ((c as usize + 1) * self.bc) <= range.start);
+        let hi = cols.partition_point(|&c| (c as usize * self.bc) < range.end);
+        f(Span::new(bri as u64 * 4, 8));
+        if e > s {
+            // Scan the block-row's indices to find the window.
+            f(Span::new(
+                self.idx_base() + s as u64 * 4,
+                ((e - s) * 4) as u32,
+            ));
+        }
+        if hi > lo {
+            f(Span::new(
+                self.vals_base() + (s + lo) as u64 * self.block_bytes(),
+                ((hi - lo) as u64 * self.block_bytes()) as u32,
+            ));
+        }
+    }
+
+    fn for_each_write_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
+        self.for_each_row_span(row, f);
     }
 
     fn decode_row(&self, row: usize) -> Vec<f32> {

@@ -181,6 +181,47 @@ impl FeatureFormat for DenseMatrix {
     fn for_each_write_span(&self, row: usize, f: &mut dyn FnMut(Span)) {
         self.for_each_row_span(row, f);
     }
+
+    // Dense reads/writes are a single contiguous span, so the line run is
+    // computed directly — no compactor pass.
+    fn for_each_row_run(&self, row: usize, line_bytes: u64, f: &mut dyn FnMut(crate::LineRun)) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let bytes = self.cols as u64 * ELEM_BYTES;
+        if bytes == 0 {
+            return;
+        }
+        let offset = row as u64 * bytes;
+        let first = offset / line_bytes;
+        f(crate::LineRun::contiguous(
+            first,
+            (offset + bytes - 1) / line_bytes - first + 1,
+        ));
+    }
+
+    fn for_each_slice_run(
+        &self,
+        row: usize,
+        range: ColRange,
+        line_bytes: u64,
+        f: &mut dyn FnMut(crate::LineRun),
+    ) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let range = range.clamp_to(self.cols);
+        let bytes = (range.end - range.start) as u64 * ELEM_BYTES;
+        if bytes == 0 {
+            return;
+        }
+        let offset = (row * self.cols + range.start) as u64 * ELEM_BYTES;
+        let first = offset / line_bytes;
+        f(crate::LineRun::contiguous(
+            first,
+            (offset + bytes - 1) / line_bytes - first + 1,
+        ));
+    }
+
+    fn for_each_write_run(&self, row: usize, line_bytes: u64, f: &mut dyn FnMut(crate::LineRun)) {
+        self.for_each_row_run(row, line_bytes, f);
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@ pub mod csr;
 pub mod dense;
 pub mod ellpack;
 pub mod layout;
+pub mod runs;
 pub mod stats;
 pub mod traits;
 
@@ -58,4 +59,5 @@ pub use ellpack::BlockedEllpack;
 pub use layout::{
     align_up, cacheline_bytes_covering, cachelines, Span, CACHELINE_BYTES, ELEM_BYTES,
 };
+pub use runs::{LineRun, RunCompactor};
 pub use traits::{ColRange, FeatureFormat, FormatKind};

@@ -4,6 +4,7 @@ use std::fmt;
 use std::ops::Range;
 
 use crate::layout::Span;
+use crate::runs::{LineRun, RunCompactor};
 
 /// A half-open column range `[start, end)` within a feature row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -127,6 +128,46 @@ pub trait FeatureFormat {
         for span in self.write_spans(row) {
             f(span);
         }
+    }
+
+    /// Visits the compacted line runs of a full-row read: the spans of
+    /// [`for_each_row_span`] merged into maximal runs of consecutive
+    /// `line_bytes`-sized cache lines (see [`crate::runs`] for the merge
+    /// rules and the exactness contract). The memory system replays one
+    /// run per call instead of one span, with batched set-index and
+    /// DRAM-burst accounting.
+    ///
+    /// [`for_each_row_span`]: FeatureFormat::for_each_row_span
+    fn for_each_row_run(&self, row: usize, line_bytes: u64, f: &mut dyn FnMut(LineRun)) {
+        let mut c = RunCompactor::reads(line_bytes);
+        self.for_each_row_span(row, &mut |s| c.push(s, f));
+        c.finish(f);
+    }
+
+    /// Visits the compacted line runs of a column-window read (see
+    /// [`for_each_row_run`]).
+    ///
+    /// [`for_each_row_run`]: FeatureFormat::for_each_row_run
+    fn for_each_slice_run(
+        &self,
+        row: usize,
+        range: ColRange,
+        line_bytes: u64,
+        f: &mut dyn FnMut(LineRun),
+    ) {
+        let mut c = RunCompactor::reads(line_bytes);
+        self.for_each_slice_span(row, range, &mut |s| c.push(s, f));
+        c.finish(f);
+    }
+
+    /// Visits the compacted line runs of a row write-back. Write runs
+    /// merge only strictly contiguous spans (no seam merging — see
+    /// [`crate::runs`]), so the streaming-write DRAM clock accumulates in
+    /// the original burst order.
+    fn for_each_write_run(&self, row: usize, line_bytes: u64, f: &mut dyn FnMut(LineRun)) {
+        let mut c = RunCompactor::writes(line_bytes);
+        self.for_each_write_span(row, &mut |s| c.push(s, f));
+        c.finish(f);
     }
 
     /// Cacheline-rounded bytes to read the whole of `row` — convenience

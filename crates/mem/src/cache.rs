@@ -233,8 +233,15 @@ impl Cache {
     /// number; see [`Cache::access`]).
     #[inline]
     pub fn access_line(&mut self, line: u64) -> bool {
+        self.probe_at(self.set_div.rem(line) as usize, line)
+    }
+
+    /// The probe body with the set index already known — the run replay
+    /// walks consecutive sets incrementally instead of re-deriving
+    /// `line % sets` per line.
+    #[inline]
+    fn probe_at(&mut self, set: usize, line: u64) -> bool {
         let ways = self.config.ways;
-        let set = self.set_div.rem(line) as usize;
         let base = set * ways;
         let n = self.len[set] as usize;
         let set_tags = &mut self.tags[base..base + ways];
@@ -283,6 +290,114 @@ impl Cache {
         false
     }
 
+    /// Probes `lines` consecutive lines starting at `first_line` — the
+    /// line-run replay behind `MemorySystem::access_lines`. One set-index
+    /// computation covers the whole run (consecutive lines map to
+    /// consecutive sets), and every maximal sub-run of consecutive
+    /// *misses* is reported to `on_miss_run` as `(first missed line,
+    /// count)` so the caller can batch the DRAM walk. Counter-for-counter
+    /// and state-for-state identical to probing each line through
+    /// [`Cache::access_line`] in ascending order. Returns the hit count.
+    pub fn probe_run(
+        &mut self,
+        first_line: u64,
+        lines: u64,
+        mut on_miss_run: impl FnMut(u64, u64),
+    ) -> u64 {
+        let Cache {
+            config,
+            tags,
+            len,
+            stats,
+            bip_counter,
+            ..
+        } = self;
+        let ways = config.ways;
+        let policy = config.policy;
+        let nsets = len.len();
+        let mut set = self.set_div.rem(first_line) as usize;
+        let mut line = first_line;
+        let mut remaining = lines;
+        let mut hits = 0u64;
+        let mut evictions = 0u64;
+        let mut miss_start = 0u64;
+        let mut miss_len = 0u64;
+        // Walk the run in contiguous set segments (consecutive lines map
+        // to consecutive sets): one bounds check per segment, then the
+        // tag array streams through `chunks_exact_mut`.
+        while remaining > 0 {
+            let seg = remaining.min((nsets - set) as u64) as usize;
+            let tags_seg = &mut tags[set * ways..(set + seg) * ways];
+            let len_seg = &mut len[set..set + seg];
+            for (set_tags, n_slot) in tags_seg.chunks_exact_mut(ways).zip(len_seg.iter_mut()) {
+                let n = *n_slot as usize;
+                let mut pos = usize::MAX;
+                for (w, &t) in set_tags[..n].iter().enumerate() {
+                    if t == line {
+                        pos = w;
+                        break;
+                    }
+                }
+                if pos != usize::MAX {
+                    if pos > 0 && !matches!(policy, ReplacementPolicy::Fifo) {
+                        set_tags.copy_within(0..pos, 1);
+                        set_tags[0] = line;
+                    }
+                    hits += 1;
+                    if miss_len > 0 {
+                        on_miss_run(miss_start, miss_len);
+                        miss_len = 0;
+                    }
+                } else {
+                    let filled = if n == ways {
+                        evictions += 1;
+                        ways
+                    } else {
+                        *n_slot = (n + 1) as u8;
+                        n + 1
+                    };
+                    let at_mru = match policy {
+                        ReplacementPolicy::Lru | ReplacementPolicy::Fifo => true,
+                        ReplacementPolicy::Bip => {
+                            *bip_counter = bip_counter.wrapping_add(1);
+                            bip_counter.is_multiple_of(32)
+                        }
+                    };
+                    if at_mru {
+                        set_tags.copy_within(0..filled - 1, 1);
+                        set_tags[0] = line;
+                    } else {
+                        set_tags[filled - 1] = line;
+                    }
+                    if miss_len == 0 {
+                        miss_start = line;
+                    }
+                    miss_len += 1;
+                }
+                line += 1;
+            }
+            remaining -= seg as u64;
+            set = 0;
+        }
+        if miss_len > 0 {
+            on_miss_run(miss_start, miss_len);
+        }
+        stats.hits += hits;
+        stats.misses += lines - hits;
+        stats.evictions += evictions;
+        hits
+    }
+
+    /// Books `n` additional hits without touching contents — the seam
+    /// accounting of the line-run replay: a compacted read run's seam
+    /// lines would each have re-probed the line touched immediately
+    /// before (a guaranteed hit that never moves replacement state), so
+    /// the replay skips the probe and records the hits here.
+    #[inline]
+    pub fn count_repeat_hits(&mut self, n: u64) {
+        self.stats.hits += n;
+    }
+
     /// Non-mutating presence probe of the line containing `addr`: no
     /// fill, no promotion, no statistics. The warm-reuse scheduling path
     /// uses this to *ask* whether a request's working set is resident
@@ -325,6 +440,29 @@ impl Cache {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Invalidates `lines` consecutive lines starting at `first_line`
+    /// (the streaming-write line-run replay), walking the consecutive
+    /// sets incrementally. Identical state to calling
+    /// [`Cache::invalidate_line`] per line in ascending order.
+    pub fn invalidate_run(&mut self, first_line: u64, lines: u64) {
+        let ways = self.config.ways;
+        let nsets = self.len.len();
+        let mut set = self.set_div.rem(first_line) as usize;
+        for line in first_line..first_line + lines {
+            let n = self.len[set] as usize;
+            let base = set * ways;
+            let set_tags = &mut self.tags[base..base + ways];
+            if let Some(w) = set_tags[..n].iter().position(|&t| t == line) {
+                set_tags.copy_within(w + 1..n, w);
+                self.len[set] = (n - 1) as u8;
+            }
+            set += 1;
+            if set == nsets {
+                set = 0;
+            }
         }
     }
 
@@ -414,6 +552,14 @@ impl ListCache {
             self.stats.misses += 1;
             false
         }
+    }
+
+    /// Books `n` additional hits without touching contents (see
+    /// [`Cache::count_repeat_hits`] — both engines account seams
+    /// identically).
+    #[inline]
+    pub fn count_repeat_hits(&mut self, n: u64) {
+        self.stats.hits += n;
     }
 
     /// Non-mutating presence probe of the line containing `addr` (see

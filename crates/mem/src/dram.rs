@@ -263,6 +263,118 @@ impl Dram {
         cycles
     }
 
+    /// Services `count` accesses at `stride_bytes` intervals from `addr`
+    /// — the batched DRAM walk behind the line-run replay (a compacted
+    /// read run's miss sub-runs, a streaming write run, an uncached
+    /// topology stream). When the stride equals the burst size (cache
+    /// line == DRAM burst, the universal configuration) the
+    /// channel/bank/row decomposition advances incrementally instead of
+    /// re-dividing the address per burst; otherwise each access falls
+    /// back to [`Dram::access`]. Either way the per-burst sequence —
+    /// including the order the `f64` channel/bank clocks accumulate in —
+    /// is identical to calling [`Dram::access`] per address, so every
+    /// counter and clock stays bit-identical.
+    pub fn access_run(&mut self, addr: u64, count: u64, stride_bytes: u64, is_write: bool) {
+        if count == 0 {
+            return;
+        }
+        if stride_bytes != self.config.burst_bytes {
+            for i in 0..count {
+                self.access(addr + i * stride_bytes, is_write);
+            }
+            return;
+        }
+        let channels = self.config.channels as u64;
+        let banks = self.config.banks_per_channel as u64;
+        let bursts_per_row = (self.config.row_bytes / self.config.burst_bytes).max(1);
+        let burst = self.burst_div.div(addr);
+        let burst_cycles = self.burst_cycles;
+        let miss_bank_cycles = self.config.row_miss_penalty as f64 + burst_cycles;
+
+        // Walk (channel, bank, row) incrementally from the first burst's
+        // decomposition; the wrap chain mirrors how each index is a
+        // quotient/remainder of the previous one.
+        match self.config.mapping {
+            AddressMapping::ChannelInterleaved => {
+                let mut channel = self.channel_div.rem(burst);
+                let within = self.channel_div.div(burst);
+                let mut win_in_row = within % bursts_per_row;
+                let row_global = self.row_div.div(within);
+                let mut bank = self.bank_div.rem(row_global);
+                let mut row = self.bank_div.div(row_global);
+                for _ in 0..count {
+                    let slot = (channel * banks + bank) as usize;
+                    let mut cycles = burst_cycles;
+                    if self.open_rows[slot] == row {
+                        self.stats.row_hits += 1;
+                    } else {
+                        self.stats.row_misses += 1;
+                        self.open_rows[slot] = row;
+                        cycles += MISS_CMD_CYCLES;
+                        self.bank_busy[slot] += miss_bank_cycles;
+                    }
+                    self.busy[channel as usize] += cycles;
+                    channel += 1;
+                    if channel == channels {
+                        channel = 0;
+                        win_in_row += 1;
+                        if win_in_row == bursts_per_row {
+                            win_in_row = 0;
+                            bank += 1;
+                            if bank == banks {
+                                bank = 0;
+                                row += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            AddressMapping::BankInterleaved => {
+                let mut win_in_row = burst % bursts_per_row;
+                let row_global = self.row_div.div(burst);
+                let mut bank = self.bank_div.rem(row_global);
+                let after_bank = self.bank_div.div(row_global);
+                let mut channel = self.channel_div.rem(after_bank);
+                let mut row = self.channel_div.div(after_bank);
+                for _ in 0..count {
+                    let slot = (channel * banks + bank) as usize;
+                    let mut cycles = burst_cycles;
+                    if self.open_rows[slot] == row {
+                        self.stats.row_hits += 1;
+                    } else {
+                        self.stats.row_misses += 1;
+                        self.open_rows[slot] = row;
+                        cycles += MISS_CMD_CYCLES;
+                        self.bank_busy[slot] += miss_bank_cycles;
+                    }
+                    self.busy[channel as usize] += cycles;
+                    win_in_row += 1;
+                    if win_in_row == bursts_per_row {
+                        win_in_row = 0;
+                        bank += 1;
+                        if bank == banks {
+                            bank = 0;
+                            channel += 1;
+                            if channel == channels {
+                                channel = 0;
+                                row += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Byte/burst totals are order-free integers: book them in bulk.
+        let bytes = count * self.config.burst_bytes;
+        if is_write {
+            self.stats.write_bursts += count;
+            self.stats.bytes_written += bytes;
+        } else {
+            self.stats.read_bursts += count;
+            self.stats.bytes_read += bytes;
+        }
+    }
+
     /// The original burst-service routine, kept verbatim as the
     /// `SGCN_NAIVE=1` perf baseline: every address split re-derives its
     /// divisors and `burst_cycles` re-divides on each call. Produces

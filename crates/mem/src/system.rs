@@ -16,6 +16,8 @@
 
 use crate::cache::{Cache, CacheConfig, CacheEngine, CacheStats, ListCache};
 use crate::dram::{Dram, DramConfig, DramStats};
+use crate::fastdiv::FastDiv;
+use sgcn_formats::LineRun;
 
 /// Traffic classes of the paper's memory-access breakdown (Fig. 14).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,6 +177,9 @@ pub struct MemorySystem {
     dram: Dram,
     per_class: [TrafficStats; 5],
     line_bytes: u64,
+    /// Line-byte divider (shift when power-of-two) — every span/run call
+    /// derives line indices through it.
+    line_div: FastDiv,
 }
 
 impl MemorySystem {
@@ -200,13 +205,21 @@ impl MemorySystem {
             dram: Dram::new(dram_config),
             per_class: [TrafficStats::default(); 5],
             line_bytes,
+            line_div: FastDiv::new(line_bytes),
         }
+    }
+
+    /// Cache line size in bytes — what callers compact spans against
+    /// before handing runs to [`MemorySystem::access_lines`].
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
     }
 
     /// First and last line indices a span covers (`bytes > 0`).
     #[inline]
     fn line_range(&self, addr: u64, bytes: u64) -> (u64, u64) {
-        (addr / self.line_bytes, (addr + bytes - 1) / self.line_bytes)
+        (self.line_div.div(addr), self.line_div.div(addr + bytes - 1))
     }
 
     /// Reads `bytes` bytes at `addr` through the cache in one batched
@@ -217,28 +230,67 @@ impl MemorySystem {
             return SpanCounts::default();
         }
         let (first, last) = self.line_range(addr, bytes);
-        let lines = last - first + 1;
-        let mut hits = 0u64;
-        // One engine dispatch per span, not per line. The List arm is the
+        self.read_lines(first, last - first + 1, 1, 0, kind)
+    }
+
+    /// Replays a compacted read run (`base` is the byte base of the
+    /// format's address region, which must be line-aligned — region bases
+    /// are multiples of the region stride). Bit-identical counters and
+    /// state to replaying the run's original spans through
+    /// [`MemorySystem::read_span`] one by one: distinct lines probe once
+    /// in ascending order, seam lines book their guaranteed hits without
+    /// re-probing, and each merged span charges one request.
+    #[inline]
+    pub fn access_lines(&mut self, base: u64, run: LineRun, kind: Traffic) -> SpanCounts {
+        if run.lines == 0 {
+            return SpanCounts::default();
+        }
+        debug_assert!(
+            base.is_multiple_of(self.line_bytes),
+            "region base {base:#x} not aligned to {}-byte lines",
+            self.line_bytes
+        );
+        self.read_lines(
+            self.line_div.div(base) + run.first_line,
+            run.lines,
+            u64::from(run.spans),
+            u64::from(run.seam_hits),
+            kind,
+        )
+    }
+
+    /// The shared read replay: `lines` consecutive cache lines from
+    /// `first` charged as `spans` requests plus `seam_hits` booked
+    /// repeat hits.
+    fn read_lines(
+        &mut self,
+        first: u64,
+        lines: u64,
+        spans: u64,
+        seam_hits: u64,
+        kind: Traffic,
+    ) -> SpanCounts {
+        let mut hits;
+        // One engine dispatch per run, not per line. The List arm is the
         // preserved seed path: per-line class bookkeeping and the
         // division-heavy DRAM reference routine.
         match &mut self.cache {
             CacheImpl::Flat(c) => {
-                for line in first..=last {
-                    if c.access_line(line) {
-                        hits += 1;
-                    } else {
-                        self.dram.access(line * self.line_bytes, false);
-                    }
-                }
+                let line_bytes = self.line_bytes;
+                let dram = &mut self.dram;
+                hits = c.probe_run(first, lines, |miss_first, miss_count| {
+                    dram.access_run(miss_first * line_bytes, miss_count, line_bytes, false);
+                });
+                c.count_repeat_hits(seam_hits);
                 let stats = &mut self.per_class[kind.index()];
-                stats.requests += 1;
-                stats.bytes_requested += lines * self.line_bytes;
-                stats.dram_bytes += (lines - hits) * self.line_bytes;
+                stats.requests += spans;
+                stats.bytes_requested += (lines + seam_hits) * line_bytes;
+                stats.dram_bytes += (lines - hits) * line_bytes;
             }
             CacheImpl::List(c) => {
-                self.per_class[kind.index()].requests += 1;
-                for line in first..=last {
+                hits = 0;
+                self.per_class[kind.index()].requests += spans;
+                for line in first..first + lines {
                     let line_addr = line * self.line_bytes;
                     self.per_class[kind.index()].bytes_requested += self.line_bytes;
                     if c.access(line_addr) {
@@ -248,12 +300,14 @@ impl MemorySystem {
                         self.per_class[kind.index()].dram_bytes += self.line_bytes;
                     }
                 }
+                c.count_repeat_hits(seam_hits);
+                self.per_class[kind.index()].bytes_requested += seam_hits * self.line_bytes;
             }
         }
         let misses = lines - hits;
         SpanCounts {
-            lines,
-            hits,
+            lines: lines + seam_hits,
+            hits: hits + seam_hits,
             misses,
         }
     }
@@ -319,9 +373,8 @@ impl MemorySystem {
                 misses: lines,
             };
         }
-        for line in first..=last {
-            self.dram.access(line * self.line_bytes, false);
-        }
+        self.dram
+            .access_run(first * self.line_bytes, lines, self.line_bytes, false);
         let stats = &mut self.per_class[kind.index()];
         stats.requests += 1;
         stats.bytes_requested += lines * self.line_bytes;
@@ -346,22 +399,60 @@ impl MemorySystem {
             return SpanCounts::default();
         }
         let (first, last) = self.line_range(addr, bytes);
-        let lines = last - first + 1;
+        self.write_lines_inner(first, last - first + 1, 1, kind)
+    }
+
+    /// Replays a compacted write run (see [`MemorySystem::access_lines`]
+    /// for the `base` contract). Write runs carry no seams — the write
+    /// compactor merges only strictly contiguous spans, so the streamed
+    /// DRAM bursts replay in the original order and every clock/counter
+    /// matches the span-at-a-time path bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run carries seam hits (reads-only metadata).
+    #[inline]
+    pub fn write_lines(&mut self, base: u64, run: LineRun, kind: Traffic) -> SpanCounts {
+        if run.lines == 0 {
+            return SpanCounts::default();
+        }
+        assert_eq!(run.seam_hits, 0, "write runs never merge seams");
+        debug_assert!(
+            base.is_multiple_of(self.line_bytes),
+            "region base {base:#x} not aligned to {}-byte lines",
+            self.line_bytes
+        );
+        self.write_lines_inner(
+            self.line_div.div(base) + run.first_line,
+            run.lines,
+            u64::from(run.spans),
+            kind,
+        )
+    }
+
+    /// The shared streaming-write replay: invalidate + DRAM burst for
+    /// `lines` consecutive lines, charged as `spans` requests.
+    fn write_lines_inner(
+        &mut self,
+        first: u64,
+        lines: u64,
+        spans: u64,
+        kind: Traffic,
+    ) -> SpanCounts {
         match &mut self.cache {
             CacheImpl::Flat(c) => {
-                for line in first..=last {
-                    c.invalidate_line(line);
-                    self.dram.access(line * self.line_bytes, true);
-                }
+                c.invalidate_run(first, lines);
+                self.dram
+                    .access_run(first * self.line_bytes, lines, self.line_bytes, true);
                 let stats = &mut self.per_class[kind.index()];
-                stats.requests += 1;
+                stats.requests += spans;
                 stats.bytes_requested += lines * self.line_bytes;
                 stats.dram_bytes += lines * self.line_bytes;
             }
             CacheImpl::List(c) => {
                 // Preserved seed path.
-                self.per_class[kind.index()].requests += 1;
-                for line in first..=last {
+                self.per_class[kind.index()].requests += spans;
+                for line in first..first + lines {
                     let line_addr = line * self.line_bytes;
                     c.invalidate(line_addr);
                     self.dram.access_reference(line_addr, true);
@@ -646,6 +737,112 @@ mod tests {
         let warm = m.read_span(0, 256, Traffic::FeatureRead);
         assert_eq!(warm.hits, 4);
         assert_eq!(m.report().dram_total_bytes(), 0);
+    }
+
+    #[test]
+    fn access_lines_matches_read_span() {
+        let mut by_span = sys();
+        let mut by_run = sys();
+        by_span.read_span(128, 300, Traffic::FeatureRead);
+        by_run.access_lines(0, LineRun::contiguous(2, 5), Traffic::FeatureRead);
+        assert_eq!(by_span.report(), by_run.report());
+        assert_eq!(by_span.elapsed_dram_cycles(), by_run.elapsed_dram_cycles());
+    }
+
+    #[test]
+    fn access_lines_books_seams_as_hits_and_requests_per_span() {
+        // Two byte-adjacent spans sharing a boundary line, merged into
+        // one run with a seam: [0, 100) then [100, 200).
+        let mut by_span = sys();
+        by_span.read_span(0, 100, Traffic::FeatureRead);
+        by_span.read_span(100, 100, Traffic::FeatureRead);
+        let mut by_run = sys();
+        let run = LineRun {
+            first_line: 0,
+            lines: 4,
+            spans: 2,
+            seam_hits: 1,
+        };
+        let counts = by_run.access_lines(0, run, Traffic::FeatureRead);
+        assert_eq!(by_span.report(), by_run.report());
+        // 4 distinct lines + 1 seam re-probe, all misses except the seam.
+        assert_eq!(
+            counts,
+            SpanCounts {
+                lines: 5,
+                hits: 1,
+                misses: 4
+            }
+        );
+        let t = by_run.report().traffic(Traffic::FeatureRead);
+        assert_eq!(t.requests, 2);
+        assert_eq!(t.bytes_requested, 5 * 64);
+        assert_eq!(t.dram_bytes, 4 * 64);
+    }
+
+    #[test]
+    fn write_lines_matches_write_span() {
+        let mut by_span = sys();
+        let mut by_run = sys();
+        for m in [&mut by_span, &mut by_run] {
+            m.read(0, 256, Traffic::FeatureRead); // lines to invalidate
+        }
+        by_span.write_span(64, 192, Traffic::FeatureWrite);
+        by_run.write_lines(
+            0,
+            LineRun {
+                first_line: 1,
+                lines: 3,
+                spans: 1,
+                seam_hits: 0,
+            },
+            Traffic::FeatureWrite,
+        );
+        assert_eq!(by_span.report(), by_run.report());
+        assert_eq!(by_span.elapsed_dram_cycles(), by_run.elapsed_dram_cycles());
+        // The written lines were invalidated in both.
+        assert_eq!(by_span.peek_span(0, 256), by_run.peek_span(0, 256));
+    }
+
+    #[test]
+    #[should_panic(expected = "never merge seams")]
+    fn write_lines_rejects_seam_runs() {
+        let mut m = sys();
+        m.write_lines(
+            0,
+            LineRun {
+                first_line: 0,
+                lines: 2,
+                spans: 2,
+                seam_hits: 1,
+            },
+            Traffic::FeatureWrite,
+        );
+    }
+
+    #[test]
+    fn empty_runs_are_noops() {
+        let mut m = sys();
+        assert_eq!(
+            m.access_lines(0, LineRun::default(), Traffic::FeatureRead),
+            SpanCounts::default()
+        );
+        assert_eq!(
+            m.write_lines(0, LineRun::default(), Traffic::FeatureWrite),
+            SpanCounts::default()
+        );
+        assert_eq!(m.report().cache.accesses(), 0);
+        assert_eq!(m.report().dram_total_bytes(), 0);
+    }
+
+    #[test]
+    fn access_lines_rebases_onto_region_base() {
+        let mut by_span = sys();
+        let mut by_run = sys();
+        let base = 1u64 << 20;
+        by_span.read_span(base, 256, Traffic::Weight);
+        by_run.access_lines(base, LineRun::contiguous(0, 4), Traffic::Weight);
+        assert_eq!(by_span.report(), by_run.report());
     }
 
     #[test]
