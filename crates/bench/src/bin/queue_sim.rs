@@ -1,11 +1,15 @@
 //! The online queueing harness behind `BENCH_queue.json`.
 //!
 //! Puts the sampled-subgraph serving path behind live traffic: a seeded
-//! open-loop exponential arrival process feeds an N-engine event-driven
-//! scheduler whose engines keep their feature caches **warm across
-//! requests** (`sgcn::serving::queueing`). The summary reports queueing
-//! delay and end-to-end latency percentiles, fleet utilization, makespan
-//! and warm-cache reuse.
+//! arrival process (open-loop exponential/bursty/diurnal or a closed
+//! loop of K clients) feeds an N-engine event-driven scheduler whose
+//! engines keep their feature caches **warm across requests**
+//! (`sgcn::serving::queueing`). The fleet may be heterogeneous (mixed
+//! fast/slow engine classes, optional cross-engine work stealing), and
+//! an SLO deadline turns on admission control. The summary reports
+//! queueing delay and end-to-end latency percentiles over completed
+//! requests, shed/violation counts, fleet utilization, makespan and
+//! warm-cache reuse.
 //!
 //! Every field of the JSON is a pure function of `(stream, knobs)` — the
 //! only parallel stage returns results in stream order and the event
@@ -16,13 +20,23 @@
 //!   all-zero summary instead of aborting),
 //! * `SGCN_LOAD` — offered load ρ (default 0.8),
 //! * `SGCN_ENGINES` — engine count (default 4),
-//! * `SGCN_POLICY` — `fifo` / `least` / `affinity` (default `affinity`),
+//! * `SGCN_POLICY` — `fifo` / `least` / `affinity` / `slo` (default
+//!   `affinity`),
+//! * `SGCN_TRAFFIC` — `exp` / `bursty` / `diurnal` / `closed[:K]`
+//!   (default `exp`),
+//! * `SGCN_SLO_CYCLES` — end-to-end deadline in cycles with load
+//!   shedding on; 0 = no SLO (default 0),
+//! * `SGCN_FLEET` — `uniform` / `steal` / `mixed` / `mixed-steal` / a
+//!   comma-separated scale list, optionally `+steal` (default
+//!   `uniform`),
 //! * `SGCN_HOTSPOT` — hot-seed pool size, 0 = uniform traffic
 //!   (default `requests / 6`),
 //! * `SGCN_QUICK=1` — test-scale graph, `SGCN_QUEUE_OUT` — output path.
 
 use sgcn::accel::AccelModel;
-use sgcn::serving::queueing::{run_queue, QueueConfig, SchedPolicy};
+use sgcn::serving::queueing::{
+    run_queue, FleetSpec, QueueConfig, SchedPolicy, SloConfig, TrafficModel,
+};
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn_bench::{banner, experiment_config};
 use sgcn_graph::datasets::DatasetId;
@@ -45,14 +59,28 @@ fn main() {
         .ok()
         .map(|v| SchedPolicy::parse(&v).unwrap_or_else(|| panic!("unknown SGCN_POLICY {v:?}")))
         .unwrap_or(SchedPolicy::CacheAffinity);
+    let traffic = std::env::var("SGCN_TRAFFIC")
+        .ok()
+        .map(|v| TrafficModel::parse(&v).unwrap_or_else(|| panic!("unknown SGCN_TRAFFIC {v:?}")))
+        .unwrap_or(TrafficModel::Exponential);
+    let slo_cycles: u64 = env_parse("SGCN_SLO_CYCLES", 0);
+    let fleet = std::env::var("SGCN_FLEET")
+        .ok()
+        .map(|v| {
+            FleetSpec::parse(&v, engines)
+                .unwrap_or_else(|| panic!("bad SGCN_FLEET {v:?} for {engines} engines"))
+        })
+        .unwrap_or_else(|| FleetSpec::uniform(engines));
     let hotspot: usize = env_parse("SGCN_HOTSPOT", (requests / 6).max(1));
 
     let fanouts = Fanouts::new(vec![10, 5]);
     let label = format!(
-        "{} fanout {} SGCN x{engines} {}",
+        "{} fanout {} SGCN x{engines} {} {} {}",
         DatasetId::PubMed.abbrev(),
         fanouts.label(),
-        policy.label()
+        policy.label(),
+        traffic.label(),
+        fleet.label()
     );
     let ctx = ServingContext::new(ServingConfig {
         dataset: DatasetId::PubMed,
@@ -67,7 +95,12 @@ fn main() {
         ctx.hotspot_stream(requests, hotspot)
     };
 
-    let qcfg = QueueConfig::new(engines, policy, load, cfg.seed);
+    let mut qcfg = QueueConfig::new(engines, policy, load, cfg.seed)
+        .with_traffic(traffic)
+        .with_fleet(fleet);
+    if slo_cycles > 0 {
+        qcfg = qcfg.with_slo(SloConfig::shedding(slo_cycles));
+    }
     let t0 = std::time::Instant::now();
     let out = run_queue(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw(), &qcfg);
     let wall = t0.elapsed().as_secs_f64();
@@ -75,9 +108,20 @@ fn main() {
     let s = &out.summary;
     println!("requests:        {} ({} hot seeds)", s.requests, hotspot);
     println!(
-        "fleet:           {} engines, {} policy, offered load {:.2}",
-        s.engines, s.policy, s.offered_load
+        "fleet:           {} engines ({}), {} policy, {} traffic, offered load {:.2}",
+        s.engines, s.fleet, s.policy, s.traffic, s.offered_load
     );
+    if s.deadline_cycles > 0 {
+        println!(
+            "slo:             deadline {} cycles — {} completed, {} shed ({:.1}%), {} violations ({:.1}%)",
+            s.deadline_cycles,
+            s.completed,
+            s.shed,
+            s.shed_rate * 100.0,
+            s.violations,
+            s.violation_rate * 100.0
+        );
+    }
     println!(
         "queueing delay:  p50 {} / p95 {} / p99 {} / max {} cycles",
         s.p50_wait_cycles, s.p95_wait_cycles, s.p99_wait_cycles, s.max_wait_cycles

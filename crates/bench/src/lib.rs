@@ -182,12 +182,14 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     .unwrap();
 
     // Online queueing scenario: the same sampled-request serving path put
-    // behind an open-loop arrival process with multi-engine co-scheduling
-    // (`queue_sim` is the full-stream harness). Both grids share one
-    // prepared stream — the preparation is policy/load/engine
-    // independent.
+    // behind live traffic with multi-engine co-scheduling (`queue_sim` is
+    // the full-stream harness). All four grids share one prepared
+    // stream — the preparation is traffic/policy/load/fleet independent:
+    // policy × offered load, engine-count scaling, traffic model × policy
+    // under an SLO deadline (bursty/diurnal/closed-loop arrivals with
+    // load shedding), and the heterogeneous-fleet / work-stealing lineup.
     let queue_requests = if quick { 36 } else { 192 };
-    let (policy_grid, engine_grid) = exp::queueing_grids(
+    let grids = exp::queueing_grids(
         cfg,
         DatasetId::PubMed,
         4,
@@ -196,7 +198,9 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
         0.8,
         queue_requests,
     );
-    writeln!(out, "{policy_grid}").unwrap();
-    writeln!(out, "{engine_grid}").unwrap();
+    writeln!(out, "{}", grids.policy).unwrap();
+    writeln!(out, "{}", grids.engine).unwrap();
+    writeln!(out, "{}", grids.traffic).unwrap();
+    writeln!(out, "{}", grids.fleet).unwrap();
     out
 }

@@ -1208,10 +1208,25 @@ type QueueingSetup = (
     Vec<crate::serving::queueing::PreparedRequest>,
 );
 
-/// Renders both queueing grids (policy × offered-load sweep, engine-count
-/// sweep) off one shared preparation — what the full suite calls, since
-/// the expensive half (sampling + cold simulation of the stream) is
-/// identical for every sweep cell of both grids.
+/// The four queueing grids of the full suite, rendered off one shared
+/// preparation.
+pub struct QueueingGrids {
+    /// Policy × offered-load sweep.
+    pub policy: Grid,
+    /// Engine-count sweep under cache affinity.
+    pub engine: Grid,
+    /// Traffic-model × policy sweep under an SLO deadline.
+    pub traffic: Grid,
+    /// Heterogeneous-fleet / work-stealing sweep.
+    pub fleet: Grid,
+}
+
+/// Renders all four queueing grids (policy × offered-load sweep,
+/// engine-count sweep, traffic-mix × policy SLO sweep, fleet sweep) off
+/// one shared preparation — what the full suite calls, since the
+/// expensive half (sampling + cold simulation of the stream) is
+/// identical for every sweep cell of every grid.
+#[allow(clippy::too_many_arguments)]
 pub fn queueing_grids(
     cfg: &ExperimentConfig,
     id: DatasetId,
@@ -1220,12 +1235,14 @@ pub fn queueing_grids(
     engine_counts: &[usize],
     load: f64,
     requests: usize,
-) -> (Grid, Grid) {
+) -> QueueingGrids {
     let setup = queueing_setup(cfg, id, requests);
-    (
-        queueing_policy_sweep_prepared(cfg, id, engines, loads, requests, &setup),
-        queueing_engine_sweep_prepared(cfg, id, engine_counts, load, requests, &setup),
-    )
+    QueueingGrids {
+        policy: queueing_policy_sweep_prepared(cfg, id, engines, loads, requests, &setup),
+        engine: queueing_engine_sweep_prepared(cfg, id, engine_counts, load, requests, &setup),
+        traffic: queueing_traffic_sweep_prepared(cfg, id, engines, load, requests, &setup),
+        fleet: queueing_fleet_sweep_prepared(cfg, id, engines, load, requests, &setup),
+    }
 }
 
 /// Online queueing (beyond the paper): offered-load sweep × scheduler
@@ -1345,6 +1362,173 @@ fn queueing_engine_sweep_prepared(
         let qcfg = QueueConfig::new(engines, SchedPolicy::CacheAffinity, load, cfg.seed);
         let s = simulate_queue(&setup.1, &qcfg, &hw, row_bytes).summary;
         let row = format!("E{engines}");
+        grid.set(&row, "p50e(kc)", s.p50_e2e_cycles as f64 / 1e3);
+        grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
+        grid.set(&row, "mksp(kc)", s.makespan_cycles as f64 / 1e3);
+        grid.set(&row, "util%", s.utilization * 100.0);
+        grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+    }
+    grid
+}
+
+/// The traffic models the scenario grids sweep, in report order (the
+/// closed loop sized at twice the engine count so clients outnumber
+/// engines without trivially saturating them).
+fn traffic_lineup(engines: usize) -> [crate::serving::queueing::TrafficModel; 4] {
+    use crate::serving::queueing::TrafficModel;
+    [
+        TrafficModel::Exponential,
+        TrafficModel::bursty_default(),
+        TrafficModel::diurnal_default(),
+        TrafficModel::ClosedLoop {
+            clients: engines * 2,
+        },
+    ]
+}
+
+/// Traffic & SLO scenario (beyond the paper): arrival-model × policy
+/// sweep under a deadline of three mean cold services with load shedding
+/// on. Rows are `traffic / policy`; columns report median queueing delay
+/// and p99 end-to-end latency over completed requests (kilocycles), the
+/// shed and violation rates (%), and the warm-cache hit rate (%) — where
+/// bursty/diurnal/closed-loop load separates the schedulers that the
+/// Poisson sweep cannot.
+pub fn queueing_traffic_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+) -> Grid {
+    queueing_traffic_sweep_prepared(
+        cfg,
+        id,
+        engines,
+        load,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_traffic_sweep`] over an already-prepared stream.
+fn queueing_traffic_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{
+        feature_row_bytes, simulate_queue, QueueConfig, SchedPolicy, SloConfig,
+    };
+
+    let cols: Vec<String> = ["p50w(kc)", "p99e(kc)", "shed%", "viol%", "warm%"]
+        .map(String::from)
+        .to_vec();
+    let traffics = traffic_lineup(engines);
+    let mut rows = Vec::new();
+    for traffic in &traffics {
+        for policy in SchedPolicy::ALL {
+            rows.push(format!("{} / {}", traffic.label(), policy.label()));
+        }
+    }
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: traffic model × policy under SLO on {} ({requests} requests, {engines} engines, load {load:.2})",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let hw = cfg.hw();
+    let row_bytes = feature_row_bytes(&setup.0);
+    // Deadline: three mean cold services — tight enough that bursts and
+    // peaks shed, loose enough that the off-peak stream flows.
+    let mean_service = if setup.1.is_empty() {
+        0
+    } else {
+        setup.1.iter().map(|p| p.report.cycles).sum::<u64>() / setup.1.len() as u64
+    };
+    let slo = SloConfig::shedding((3 * mean_service).max(1));
+    for traffic in traffics {
+        for policy in SchedPolicy::ALL {
+            let qcfg = QueueConfig::new(engines, policy, load, cfg.seed)
+                .with_traffic(traffic)
+                .with_slo(slo);
+            let s = simulate_queue(&setup.1, &qcfg, &hw, row_bytes).summary;
+            let row = format!("{} / {}", traffic.label(), policy.label());
+            grid.set(&row, "p50w(kc)", s.p50_wait_cycles as f64 / 1e3);
+            grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
+            grid.set(&row, "shed%", s.shed_rate * 100.0);
+            grid.set(&row, "viol%", s.violation_rate * 100.0);
+            grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+        }
+    }
+    grid
+}
+
+/// Heterogeneous-fleet scenario (beyond the paper): uniform vs mixed
+/// fast/slow fleets with and without cross-engine work stealing, under
+/// bursty traffic and cache-affinity routing — how much a slow engine
+/// class costs and how much stealing claws back (latency, makespan,
+/// utilization, warm reuse).
+pub fn queueing_fleet_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+) -> Grid {
+    queueing_fleet_sweep_prepared(
+        cfg,
+        id,
+        engines,
+        load,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_fleet_sweep`] over an already-prepared stream.
+fn queueing_fleet_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{
+        feature_row_bytes, simulate_queue, FleetSpec, QueueConfig, SchedPolicy, TrafficModel,
+    };
+
+    let cols: Vec<String> = ["p50e(kc)", "p99e(kc)", "mksp(kc)", "util%", "warm%"]
+        .map(String::from)
+        .to_vec();
+    let fleets = [
+        FleetSpec::uniform(engines),
+        FleetSpec::uniform(engines).with_work_stealing(),
+        FleetSpec::mixed(engines, 1.5),
+        FleetSpec::mixed(engines, 1.5).with_work_stealing(),
+    ];
+    let rows: Vec<String> = fleets.iter().map(|f| f.label()).collect();
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: fleet lineup on {} (cache-affinity, bursty, load {load:.2}, {requests} requests, {engines} engines)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let hw = cfg.hw();
+    let row_bytes = feature_row_bytes(&setup.0);
+    for fleet in fleets {
+        let row = fleet.label();
+        let qcfg = QueueConfig::new(engines, SchedPolicy::CacheAffinity, load, cfg.seed)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_fleet(fleet);
+        let s = simulate_queue(&setup.1, &qcfg, &hw, row_bytes).summary;
         grid.set(&row, "p50e(kc)", s.p50_e2e_cycles as f64 / 1e3);
         grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
         grid.set(&row, "mksp(kc)", s.makespan_cycles as f64 / 1e3);
@@ -1644,6 +1828,43 @@ mod tests {
             assert!(g.get(e, "p50e(kc)") > 0.0, "{e}");
             assert!(g.get(e, "p99e(kc)") >= g.get(e, "p50e(kc)"), "{e}");
         }
+    }
+
+    #[test]
+    fn queueing_traffic_sweep_sheds_under_pressure_and_stays_sane() {
+        use crate::serving::queueing::SchedPolicy;
+        let g = queueing_traffic_sweep(&ExperimentConfig::quick(), DatasetId::Cora, 2, 0.9, 30);
+        let traffics = ["exponential", "bursty", "diurnal", "closed:4"];
+        let mut total_shed = 0.0;
+        for t in traffics {
+            for p in SchedPolicy::ALL {
+                let row = format!("{t} / {}", p.label());
+                let shed = g.get(&row, "shed%");
+                let viol = g.get(&row, "viol%");
+                assert!((0.0..=100.0).contains(&shed), "{row}: shed {shed}");
+                assert!((0.0..=100.0).contains(&viol), "{row}: viol {viol}");
+                assert!(g.get(&row, "warm%") >= 0.0, "{row}");
+                total_shed += shed;
+            }
+        }
+        // At 0.9ρ with a 3-mean-service deadline, *somewhere* in the
+        // sweep admission control fires (bursts at minimum).
+        assert!(total_shed > 0.0, "no cell shed anything");
+    }
+
+    #[test]
+    fn queueing_fleet_sweep_orders_fleets_sensibly() {
+        let g = queueing_fleet_sweep(&ExperimentConfig::quick(), DatasetId::Cora, 4, 0.8, 30);
+        for row in ["uniform", "uniform+steal", "mixed", "mixed+steal"] {
+            let util = g.get(row, "util%");
+            assert!((0.0..=100.0).contains(&util), "{row}: util {util}");
+            assert!(g.get(row, "p99e(kc)") >= g.get(row, "p50e(kc)"), "{row}");
+            assert!(g.get(row, "mksp(kc)") > 0.0, "{row}");
+        }
+        // A slow engine class cannot shrink the makespan, and stealing
+        // cannot grow it.
+        assert!(g.get("mixed", "mksp(kc)") >= g.get("uniform", "mksp(kc)") * 0.999);
+        assert!(g.get("mixed+steal", "mksp(kc)") <= g.get("mixed", "mksp(kc)") * 1.001);
     }
 
     #[test]

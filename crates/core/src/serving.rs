@@ -24,6 +24,8 @@
 //! the experiment drivers' contract.
 
 pub mod queueing;
+pub mod slo;
+pub mod traffic;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

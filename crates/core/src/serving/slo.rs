@@ -1,0 +1,170 @@
+//! Service-level objectives for the queueing simulator: per-request
+//! deadlines, admission control (load shedding), and violation
+//! accounting.
+//!
+//! A deployed fleet does not let its queues grow without bound: each
+//! request carries a latency budget (its SLO), the dispatcher *sheds*
+//! requests it predicts cannot meet that budget, and completed requests
+//! that still blew the deadline are reported as *violations*. This
+//! module holds the knobs ([`SloConfig`]) and the bookkeeping
+//! ([`SloStats`]); the enforcement lives in the event loop
+//! ([`super::queueing::simulate_queue`]):
+//!
+//! * **Admission** — at arrival the dispatcher predicts the request's
+//!   end-to-end latency on the engine the policy picked (its backlog
+//!   plus the request's estimated service time). If the prediction
+//!   exceeds the deadline and shedding is enabled, the request is
+//!   rejected on the spot — it never touches an engine, never warms a
+//!   cache, and is counted in [`SloStats::shed`].
+//! * **Violations** — a completed request whose end-to-end latency
+//!   exceeds the deadline counts as a violation (shed requests do not:
+//!   the two outcomes partition the non-met SLOs by whether the system
+//!   spent service capacity on them).
+//! * **The `slo-aware` policy** ([`super::queueing::SchedPolicy`])
+//!   complements admission by serving queued requests earliest-deadline
+//!   first, spending slack where it buys the most.
+
+/// The SLO knobs of one queueing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// End-to-end latency budget per request (cycles, from arrival).
+    pub deadline_cycles: u64,
+    /// Whether admission control sheds requests predicted to miss the
+    /// deadline. With shedding off every request is served and misses
+    /// surface as violations only.
+    pub shed: bool,
+}
+
+impl SloConfig {
+    /// A deadline with load shedding enabled — the production posture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_cycles == 0` (a zero budget sheds everything
+    /// by definition; demand it explicitly via [`SloConfig::new`] so a
+    /// forgotten knob cannot silently blackhole a run).
+    pub fn shedding(deadline_cycles: u64) -> Self {
+        assert!(
+            deadline_cycles > 0,
+            "a zero-cycle deadline sheds every request; construct it explicitly via SloConfig::new"
+        );
+        SloConfig {
+            deadline_cycles,
+            shed: true,
+        }
+    }
+
+    /// Fully explicit constructor (any deadline, shedding on or off).
+    pub fn new(deadline_cycles: u64, shed: bool) -> Self {
+        SloConfig {
+            deadline_cycles,
+            shed,
+        }
+    }
+
+    /// The admission decision: would a request with `predicted_wait`
+    /// cycles of queueing ahead of an `estimated_service`-cycle job
+    /// still meet the deadline? (Pure — the event loop calls this with
+    /// the policy-chosen engine's backlog.)
+    pub fn admits(&self, predicted_wait: u64, estimated_service: u64) -> bool {
+        // Predicted end-to-end vs budget, with saturation so an
+        // estimate beyond the deadline rejects instead of wrapping.
+        estimated_service <= self.deadline_cycles
+            && predicted_wait <= self.deadline_cycles - estimated_service
+    }
+
+    /// Whether a completed request's end-to-end latency violates the
+    /// deadline.
+    pub fn violated(&self, e2e_cycles: u64) -> bool {
+        e2e_cycles > self.deadline_cycles
+    }
+}
+
+/// Aggregate SLO bookkeeping of one run. Offered = completed + shed —
+/// the conservation law the proptests pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloStats {
+    /// Requests that entered the system (completed + shed).
+    pub offered: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests rejected at admission.
+    pub shed: u64,
+    /// Completed requests whose end-to-end latency exceeded the
+    /// deadline (0 when no SLO is configured).
+    pub violations: u64,
+}
+
+impl SloStats {
+    /// `shed / offered` (0 when nothing was offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// `violations / completed` (0 when nothing completed).
+    pub fn violation_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_predicted_e2e_vs_budget() {
+        let slo = SloConfig::shedding(1000);
+        assert!(slo.admits(0, 1000), "exact fit admits");
+        assert!(slo.admits(400, 600));
+        assert!(!slo.admits(401, 600), "one cycle over rejects");
+        // Service alone beyond the budget rejects even with no wait.
+        assert!(!slo.admits(0, 1001));
+        // Saturation: enormous estimates reject instead of wrapping.
+        assert!(!slo.admits(u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn violation_is_strictly_over_deadline() {
+        let slo = SloConfig::new(500, false);
+        assert!(!slo.violated(500));
+        assert!(slo.violated(501));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-cycle deadline")]
+    fn zero_deadline_shedding_panics() {
+        let _ = SloConfig::shedding(0);
+    }
+
+    #[test]
+    fn stats_rates_guard_zero_denominators() {
+        let zero = SloStats::default();
+        assert_eq!(zero.shed_rate(), 0.0);
+        assert_eq!(zero.violation_rate(), 0.0);
+        let s = SloStats {
+            offered: 10,
+            completed: 6,
+            shed: 4,
+            violations: 3,
+        };
+        assert!((s.shed_rate() - 0.4).abs() < 1e-12);
+        assert!((s.violation_rate() - 0.5).abs() < 1e-12);
+        // The all-shed run keeps every rate finite.
+        let all_shed = SloStats {
+            offered: 5,
+            completed: 0,
+            shed: 5,
+            violations: 0,
+        };
+        assert_eq!(all_shed.shed_rate(), 1.0);
+        assert_eq!(all_shed.violation_rate(), 0.0);
+    }
+}

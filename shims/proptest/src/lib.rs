@@ -68,6 +68,36 @@ pub mod bool {
     }
 }
 
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use rand::Rng;
+
+    /// See [`of`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option<S::Value>` drawing `Some` three times out of four
+    /// (mirroring upstream proptest's bias toward the populated arm).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// Collection strategies.
 pub mod collection {
     use crate::strategy::Strategy;

@@ -72,8 +72,25 @@ fn line_diff(expected: &str, actual: &str) -> Option<String> {
     Some(out)
 }
 
+/// Drops a machine-collectable copy of a golden diff under
+/// `target/golden_diffs/` so CI can upload it as a failure artifact
+/// (the panic message truncates long diffs; the file carries all of it).
+fn write_diff_artifact(name: &str, expected: &str, actual: &str, diff: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/golden_diffs");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // best-effort: never mask the assertion itself
+    }
+    let _ = std::fs::write(
+        dir.join(format!("{name}.diff")),
+        format!("--- golden {name}\n+++ actual\n{diff}"),
+    );
+    let _ = std::fs::write(dir.join(format!("{name}.actual")), actual);
+    let _ = std::fs::write(dir.join(format!("{name}.expected")), expected);
+}
+
 /// Compares `actual` against the committed snapshot (or rewrites it in
-/// update mode).
+/// update mode). On drift, the full diff is also written under
+/// `target/golden_diffs/` for CI artifact upload.
 fn assert_matches_golden(name: &str, actual: &str) {
     let path = golden_path(name);
     if update_mode() {
@@ -88,10 +105,12 @@ fn assert_matches_golden(name: &str, actual: &str) {
         )
     });
     if let Some(diff) = line_diff(&expected, actual) {
+        write_diff_artifact(name, &expected, actual, &diff);
         panic!(
             "{name} drifted from the committed golden:\n{diff}\
              If the change is intentional, regenerate with \
-             SGCN_UPDATE_GOLDEN=1 cargo test --test golden_suite and review the diff."
+             SGCN_UPDATE_GOLDEN=1 cargo test --test golden_suite and review the diff \
+             (full copy under target/golden_diffs/)."
         );
     }
 }
@@ -155,6 +174,47 @@ fn check_queue_summary_golden() {
     assert_matches_golden("queue_quick.json", &json);
 }
 
+/// The SLO-shedding queueing summary under bursty traffic (a deliberately
+/// tight deadline at high offered load, so both the shed and the
+/// violation paths fire) must match its snapshot — pinning the bursty
+/// arrival generator, the admission-control decision, and the EDF
+/// `slo-aware` discipline in one trace. Called from the single
+/// env-touching test below for the same reason as
+/// [`check_serve_summary_golden`].
+fn check_queue_slo_summary_golden() {
+    use sgcn::accel::AccelModel;
+    use sgcn::serving::queueing::{
+        feature_row_bytes, prepare, simulate_queue, QueueConfig, SchedPolicy, SloConfig,
+        TrafficModel,
+    };
+    use sgcn::serving::{ServingConfig, ServingContext};
+
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts: sgcn_graph::sampling::Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.hotspot_stream(60, 10);
+    let prepared = prepare(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw());
+    let mean = prepared.iter().map(|p| p.report.cycles).sum::<u64>() / 60;
+    let qcfg = QueueConfig::new(2, SchedPolicy::SloAware, 1.5, cfg.seed)
+        .with_traffic(TrafficModel::bursty_default())
+        .with_slo(SloConfig::shedding(2 * mean));
+    let out = simulate_queue(&prepared, &qcfg, &cfg.hw(), feature_row_bytes(&ctx));
+    assert!(
+        out.summary.shed > 0,
+        "the pinned SLO scenario must exercise shedding (got {})",
+        out.summary.shed
+    );
+    let json = out
+        .summary
+        .to_json("PM fanout 10x5 SGCN x2 slo-aware bursty");
+    assert_matches_golden("queue_slo_quick.json", &json);
+}
+
 /// The full rendered quick suite must match the snapshot on both the
 /// default (fast) path and the `SGCN_NAIVE=1` seed-replay path, and the
 /// serving and queueing summaries must match their snapshots. Everything
@@ -171,6 +231,7 @@ fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
     assert_matches_golden("quick_suite.txt", &fast);
     check_serve_summary_golden();
     check_queue_summary_golden();
+    check_queue_slo_summary_golden();
 
     std::env::set_var("SGCN_NAIVE", "1");
     let naive = sgcn_bench::run_suite(&cfg, &datasets, true);

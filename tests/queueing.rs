@@ -12,8 +12,8 @@ use proptest::prelude::*;
 use sgcn::accel::AccelModel;
 use sgcn::experiments::ExperimentConfig;
 use sgcn::serving::queueing::{
-    feature_row_bytes, prepare, run_queue, simulate_queue, ArrivalProcess, PreparedRequest,
-    QueueConfig, SchedPolicy,
+    feature_row_bytes, prepare, run_queue, simulate_queue, ArrivalModel, ArrivalProcess,
+    PreparedRequest, QueueConfig, SchedPolicy,
 };
 use sgcn::serving::{Request, ServingConfig, ServingContext};
 use sgcn::{HwConfig, SimReport};
@@ -138,7 +138,7 @@ proptest! {
     #[test]
     fn event_loop_conserves_requests_and_orders_percentiles(
         scenario in stream_strategy(),
-        policy_at in 0usize..3,
+        policy_at in 0usize..SchedPolicy::ALL.len(),
     ) {
         let (prepared, engines, seed, load) = scenario;
         let policy = SchedPolicy::ALL[policy_at];

@@ -9,15 +9,18 @@
 use sgcn::accel::AccelModel;
 use sgcn::experiments::ExperimentConfig;
 use sgcn::serving::queueing::{
-    feature_row_bytes, prepare, simulate_queue, QueueConfig, SchedPolicy,
+    feature_row_bytes, prepare, simulate_queue, FleetSpec, QueueConfig, SchedPolicy, SloConfig,
+    TrafficModel,
 };
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn::HwConfig;
 use sgcn_graph::datasets::DatasetId;
 use sgcn_graph::sampling::Fanouts;
 
-/// One full queueing run on the real serving path (hotspot stream, three
-/// policies), returning every byte that lands in `BENCH_queue.json`.
+/// One full queueing sweep on the real serving path (hotspot stream,
+/// every traffic model × policy, plus SLO-shedding and
+/// heterogeneous-fleet/work-stealing cells), returning every byte that
+/// lands in `BENCH_queue.json`.
 fn queue_probe() -> Vec<String> {
     let cfg = ExperimentConfig::quick();
     let ctx = ServingContext::new(ServingConfig {
@@ -31,13 +34,45 @@ fn queue_probe() -> Vec<String> {
     let hw = HwConfig::default();
     let prepared = prepare(&ctx, &stream, &AccelModel::sgcn(), &hw);
     let row = feature_row_bytes(&ctx);
-    SchedPolicy::ALL
-        .iter()
-        .map(|&policy| {
-            let out = simulate_queue(&prepared, &QueueConfig::new(3, policy, 0.8, 7), &hw, row);
-            out.summary.to_json(policy.label())
-        })
-        .collect()
+    let mean = prepared.iter().map(|p| p.report.cycles).sum::<u64>() / 30;
+    let traffics = [
+        TrafficModel::Exponential,
+        TrafficModel::bursty_default(),
+        TrafficModel::diurnal_default(),
+        TrafficModel::ClosedLoop { clients: 6 },
+    ];
+    let mut out = Vec::new();
+    for traffic in traffics {
+        for policy in SchedPolicy::ALL {
+            let qcfg = QueueConfig::new(3, policy, 0.8, 7).with_traffic(traffic);
+            let run = simulate_queue(&prepared, &qcfg, &hw, row);
+            out.push(
+                run.summary
+                    .to_json(&format!("{} {}", traffic.label(), policy.label())),
+            );
+        }
+    }
+    // SLO shedding under pressure, and the lazy loop's fleet features.
+    for (name, qcfg) in [
+        (
+            "slo-shed",
+            QueueConfig::new(2, SchedPolicy::SloAware, 1.5, 7)
+                .with_traffic(TrafficModel::bursty_default())
+                .with_slo(SloConfig::shedding(2 * mean)),
+        ),
+        (
+            "mixed-steal",
+            QueueConfig::new(3, SchedPolicy::CacheAffinity, 0.9, 7)
+                .with_fleet(FleetSpec::mixed(3, 1.5).with_work_stealing()),
+        ),
+    ] {
+        out.push(
+            simulate_queue(&prepared, &qcfg, &hw, row)
+                .summary
+                .to_json(name),
+        );
+    }
+    out
 }
 
 #[test]
