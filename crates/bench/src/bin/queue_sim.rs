@@ -31,11 +31,22 @@
 //!   `uniform`),
 //! * `SGCN_HOTSPOT` — hot-seed pool size, 0 = uniform traffic
 //!   (default `requests / 6`),
+//! * `SGCN_FAULTS` — failure drill: `none` / `mtbf[:M,R[,K]]` /
+//!   `script:E@DOWN+DUR;…` (default `none`),
+//! * `SGCN_RETRIES` — retry budget `A[:BACKOFF]` — max dispatch
+//!   attempts per request, optional redrive backoff in cycles (default
+//!   `3`),
+//! * `SGCN_AUTOSCALE` — elastic fleet: `none` / `auto[:MIN[:PROV]]`
+//!   (default `none`),
+//! * `SGCN_TRACE_RECORD` — write the run's arrival trace to this path,
+//! * `SGCN_TRACE_REPLAY` — replay a recorded arrival trace from this
+//!   path instead of generating traffic,
 //! * `SGCN_QUICK=1` — test-scale graph, `SGCN_QUEUE_OUT` — output path.
 
 use sgcn::accel::AccelModel;
 use sgcn::serving::queueing::{
-    run_queue, FleetSpec, QueueConfig, SchedPolicy, SloConfig, TrafficModel,
+    run_queue, ArrivalTrace, FailureModel, FleetSpec, QueueConfig, RetryPolicy, ScalePolicy,
+    SchedPolicy, SloConfig, TrafficModel,
 };
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn_bench::{banner, experiment_config};
@@ -72,9 +83,25 @@ fn main() {
         })
         .unwrap_or_else(|| FleetSpec::uniform(engines));
     let hotspot: usize = env_parse("SGCN_HOTSPOT", (requests / 6).max(1));
+    let faults = std::env::var("SGCN_FAULTS")
+        .ok()
+        .map(|v| FailureModel::parse(&v).unwrap_or_else(|| panic!("bad SGCN_FAULTS {v:?}")))
+        .unwrap_or(FailureModel::None);
+    let retry = std::env::var("SGCN_RETRIES")
+        .ok()
+        .map(|v| RetryPolicy::parse(&v).unwrap_or_else(|| panic!("bad SGCN_RETRIES {v:?}")))
+        .unwrap_or_default();
+    let autoscale = std::env::var("SGCN_AUTOSCALE")
+        .ok()
+        .map(|v| ScalePolicy::parse(&v).unwrap_or_else(|| panic!("bad SGCN_AUTOSCALE {v:?}")))
+        .unwrap_or(None);
+    let replay = std::env::var("SGCN_TRACE_REPLAY").ok().map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+        ArrivalTrace::parse(&text).unwrap_or_else(|| panic!("{path:?} is not an arrival trace"))
+    });
 
     let fanouts = Fanouts::new(vec![10, 5]);
-    let label = format!(
+    let mut label = format!(
         "{} fanout {} SGCN x{engines} {} {} {}",
         DatasetId::PubMed.abbrev(),
         fanouts.label(),
@@ -82,6 +109,16 @@ fn main() {
         traffic.label(),
         fleet.label()
     );
+    if !faults.is_none() || autoscale.is_some() {
+        label = format!(
+            "{label} {} {} {}",
+            faults.label(),
+            retry.label(),
+            autoscale
+                .as_ref()
+                .map_or_else(|| "none".to_string(), ScalePolicy::label)
+        );
+    }
     let ctx = ServingContext::new(ServingConfig {
         dataset: DatasetId::PubMed,
         scale: cfg.scale,
@@ -97,9 +134,23 @@ fn main() {
 
     let mut qcfg = QueueConfig::new(engines, policy, load, cfg.seed)
         .with_traffic(traffic)
-        .with_fleet(fleet);
+        .with_fleet(fleet)
+        .with_faults(faults)
+        .with_retry(retry);
     if slo_cycles > 0 {
         qcfg = qcfg.with_slo(SloConfig::shedding(slo_cycles));
+    }
+    if let Some(scale) = autoscale {
+        qcfg = qcfg.with_autoscale(scale);
+    }
+    if let Some(trace) = replay {
+        assert_eq!(
+            trace.len(),
+            requests,
+            "SGCN_TRACE_REPLAY has {} arrivals but SGCN_REQUESTS is {requests}",
+            trace.len()
+        );
+        qcfg = qcfg.with_trace(trace);
     }
     let t0 = std::time::Instant::now();
     let out = run_queue(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw(), &qcfg);
@@ -142,6 +193,23 @@ fn main() {
         s.warm_lines,
         s.warm_hit_rate * 100.0
     );
+    if s.faults != "none" || s.autoscale != "none" {
+        println!(
+            "drills:          faults {} — {} incidents, {} retries, {} failed ({:.1}%)",
+            s.faults,
+            s.incidents,
+            s.retries,
+            s.failed,
+            s.failed_rate * 100.0
+        );
+        println!(
+            "                 availability {:.1}%, retry budget {}, autoscale {} (peak {} engines)",
+            s.availability * 100.0,
+            s.retry,
+            s.autoscale,
+            s.peak_engines
+        );
+    }
     for (e, (&busy, &served)) in out.engine_busy.iter().zip(&out.engine_served).enumerate() {
         println!("  engine {e}: {served} requests, {busy} busy cycles");
     }
@@ -154,6 +222,12 @@ fn main() {
         },
         sgcn_par::threads()
     );
+
+    if let Ok(path) = std::env::var("SGCN_TRACE_RECORD") {
+        let trace = out.arrival_trace();
+        std::fs::write(&path, trace.to_json()).expect("write arrival trace");
+        println!("recorded {} arrivals to {path}", trace.len());
+    }
 
     let json = s.to_json(&label);
     let path = std::env::var("SGCN_QUEUE_OUT").unwrap_or_else(|_| "BENCH_queue.json".into());

@@ -183,11 +183,13 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
 
     // Online queueing scenario: the same sampled-request serving path put
     // behind live traffic with multi-engine co-scheduling (`queue_sim` is
-    // the full-stream harness). All four grids share one prepared
+    // the full-stream harness). All five grids share one prepared
     // stream — the preparation is traffic/policy/load/fleet independent:
     // policy × offered load, engine-count scaling, traffic model × policy
     // under an SLO deadline (bursty/diurnal/closed-loop arrivals with
-    // load shedding), and the heterogeneous-fleet / work-stealing lineup.
+    // load shedding), the heterogeneous-fleet / work-stealing lineup,
+    // and the failure drills (fault intensity × policy × retry budget
+    // with elastic autoscaling).
     let queue_requests = if quick { 36 } else { 192 };
     let grids = exp::queueing_grids(
         cfg,
@@ -202,5 +204,6 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     writeln!(out, "{}", grids.engine).unwrap();
     writeln!(out, "{}", grids.traffic).unwrap();
     writeln!(out, "{}", grids.fleet).unwrap();
+    writeln!(out, "{}", grids.failure).unwrap();
     out
 }

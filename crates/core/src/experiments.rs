@@ -1208,7 +1208,7 @@ type QueueingSetup = (
     Vec<crate::serving::queueing::PreparedRequest>,
 );
 
-/// The four queueing grids of the full suite, rendered off one shared
+/// The five queueing grids of the full suite, rendered off one shared
 /// preparation.
 pub struct QueueingGrids {
     /// Policy × offered-load sweep.
@@ -1219,13 +1219,15 @@ pub struct QueueingGrids {
     pub traffic: Grid,
     /// Heterogeneous-fleet / work-stealing sweep.
     pub fleet: Grid,
+    /// Failure-drill sweep: fault intensity × policy × retry budget.
+    pub failure: Grid,
 }
 
-/// Renders all four queueing grids (policy × offered-load sweep,
-/// engine-count sweep, traffic-mix × policy SLO sweep, fleet sweep) off
-/// one shared preparation — what the full suite calls, since the
-/// expensive half (sampling + cold simulation of the stream) is
-/// identical for every sweep cell of every grid.
+/// Renders all five queueing grids (policy × offered-load sweep,
+/// engine-count sweep, traffic-mix × policy SLO sweep, fleet sweep,
+/// failure-drill sweep) off one shared preparation — what the full
+/// suite calls, since the expensive half (sampling + cold simulation of
+/// the stream) is identical for every sweep cell of every grid.
 #[allow(clippy::too_many_arguments)]
 pub fn queueing_grids(
     cfg: &ExperimentConfig,
@@ -1242,6 +1244,7 @@ pub fn queueing_grids(
         engine: queueing_engine_sweep_prepared(cfg, id, engine_counts, load, requests, &setup),
         traffic: queueing_traffic_sweep_prepared(cfg, id, engines, load, requests, &setup),
         fleet: queueing_fleet_sweep_prepared(cfg, id, engines, load, requests, &setup),
+        failure: queueing_failure_sweep_prepared(cfg, id, engines, load, requests, &setup),
     }
 }
 
@@ -1534,6 +1537,115 @@ fn queueing_fleet_sweep_prepared(
         grid.set(&row, "mksp(kc)", s.makespan_cycles as f64 / 1e3);
         grid.set(&row, "util%", s.utilization * 100.0);
         grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+    }
+    grid
+}
+
+/// Failure-drill scenario (beyond the paper): fault intensity ×
+/// scheduler policy × retry budget under bursty traffic, with elastic
+/// autoscaling holding a floor of half the fleet. Rows are
+/// `fault / policy rN`; columns report the completion and failure rates
+/// (%), fleet availability (%), p99 end-to-end latency over completed
+/// requests (kilocycles), and the warm-cache hit rate (%) — how
+/// gracefully the fleet degrades when engines crash, and what the retry
+/// budget buys back.
+pub fn queueing_failure_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+) -> Grid {
+    queueing_failure_sweep_prepared(
+        cfg,
+        id,
+        engines,
+        load,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_failure_sweep`] over an already-prepared stream.
+fn queueing_failure_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{
+        feature_row_bytes, simulate_queue, FailureModel, QueueConfig, RetryPolicy, ScalePolicy,
+        SchedPolicy, TrafficModel,
+    };
+
+    let cols: Vec<String> = ["done%", "fail%", "avail%", "p99e(kc)", "warm%"]
+        .map(String::from)
+        .to_vec();
+    let faults = [
+        ("none", FailureModel::None),
+        (
+            "mtbf",
+            FailureModel::Mtbf {
+                mtbf_services: 12.0,
+                mttr_services: 4.0,
+                incidents_per_engine: 2,
+            },
+        ),
+        (
+            "harsh",
+            FailureModel::Mtbf {
+                mtbf_services: 8.0,
+                mttr_services: 4.0,
+                incidents_per_engine: 3,
+            },
+        ),
+    ];
+    let policies = [SchedPolicy::FifoRoundRobin, SchedPolicy::CacheAffinity];
+    let retries = [RetryPolicy::new(1, 0), RetryPolicy::new(3, 0)];
+    let mut rows = Vec::new();
+    for (name, _) in &faults {
+        for policy in policies {
+            for retry in &retries {
+                rows.push(format!("{name} / {} {}", policy.label(), retry.label()));
+            }
+        }
+    }
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: failure drills on {} (bursty, autoscale floor {}, load {load:.2}, {requests} requests, {engines} engines)",
+            id.abbrev(),
+            (engines / 2).max(1),
+        ),
+        cols,
+        rows,
+    );
+    let hw = cfg.hw();
+    let row_bytes = feature_row_bytes(&setup.0);
+    let floor = (engines / 2).max(1);
+    for (name, faults) in faults {
+        for policy in policies {
+            for retry in &retries {
+                let qcfg = QueueConfig::new(engines, policy, load, cfg.seed)
+                    .with_traffic(TrafficModel::bursty_default())
+                    .with_faults(faults.clone())
+                    .with_retry(*retry)
+                    .with_autoscale(ScalePolicy::with_floor(floor));
+                let s = simulate_queue(&setup.1, &qcfg, &hw, row_bytes).summary;
+                let row = format!("{name} / {} {}", policy.label(), retry.label());
+                let done = if s.requests == 0 {
+                    0.0
+                } else {
+                    s.completed as f64 / s.requests as f64
+                };
+                grid.set(&row, "done%", done * 100.0);
+                grid.set(&row, "fail%", s.failed_rate * 100.0);
+                grid.set(&row, "avail%", s.availability * 100.0);
+                grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
+                grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+            }
+        }
     }
     grid
 }
@@ -1865,6 +1977,47 @@ mod tests {
         // cannot grow it.
         assert!(g.get("mixed", "mksp(kc)") >= g.get("uniform", "mksp(kc)") * 0.999);
         assert!(g.get("mixed+steal", "mksp(kc)") <= g.get("mixed", "mksp(kc)") * 1.001);
+    }
+
+    #[test]
+    fn queueing_failure_sweep_degrades_gracefully() {
+        let g = queueing_failure_sweep(&ExperimentConfig::quick(), DatasetId::Cora, 4, 0.8, 30);
+        for fault in ["none", "mtbf", "harsh"] {
+            for cell in [
+                "fifo-rr r1",
+                "fifo-rr r3",
+                "cache-affinity r1",
+                "cache-affinity r3",
+            ] {
+                let row = format!("{fault} / {cell}");
+                let done = g.get(&row, "done%");
+                let fail = g.get(&row, "fail%");
+                let avail = g.get(&row, "avail%");
+                assert!((0.0..=100.0).contains(&done), "{row}: done {done}");
+                assert!((0.0..=100.0).contains(&fail), "{row}: fail {fail}");
+                assert!((0.0..=100.0).contains(&avail), "{row}: avail {avail}");
+                assert!(g.get(&row, "warm%") >= 0.0, "{row}");
+                if fault == "none" {
+                    assert_eq!(fail, 0.0, "{row}: failures without faults");
+                }
+            }
+        }
+        // Drills actually bite: the harsh MTBF cells lose availability
+        // relative to the fault-free ones.
+        assert!(
+            g.get("harsh / fifo-rr r3", "avail%") < g.get("none / fifo-rr r3", "avail%"),
+            "harsh drill did not dent availability"
+        );
+        // A bigger retry budget never completes fewer requests.
+        for fault in ["mtbf", "harsh"] {
+            for policy in ["fifo-rr", "cache-affinity"] {
+                assert!(
+                    g.get(&format!("{fault} / {policy} r3"), "done%")
+                        >= g.get(&format!("{fault} / {policy} r1"), "done%"),
+                    "{fault}/{policy}: retries lost work"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,8 +23,10 @@
 //! a replayed stream is **bit-identical at any thread count**, matching
 //! the experiment drivers' contract.
 
+pub mod faults;
 pub mod queueing;
 pub mod slo;
+pub mod trace;
 pub mod traffic;
 
 use rand::rngs::SmallRng;

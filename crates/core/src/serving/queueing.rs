@@ -34,6 +34,18 @@
 //!   requests predicted to miss their budget, completed requests that
 //!   still missed count as *violations*, and the `slo-aware` policy
 //!   serves queued requests earliest-deadline first.
+//! * [`FailureModel`] / [`RetryPolicy`] / [`ScalePolicy`]
+//!   ([`super::faults`]) — failure drills: seed-pure engine
+//!   crash/recovery schedules injected as first-class events, bounded
+//!   retry/redrive of fault-killed requests (exhausted requests become
+//!   the *failed* terminal state alongside completed/shed), and elastic
+//!   autoscaling with provisioning-delay and cold-cache penalties.
+//!   Crashed and freshly-provisioned engines return **cold**
+//!   ([`MemorySystem::reset_cold`]), so warm-hit rates honestly pay the
+//!   recovery warm-up.
+//! * [`ArrivalTrace`] ([`super::trace`]) — record/replay: any run's
+//!   arrival timeline serializes to deterministic JSON and replays
+//!   bit-exactly through the same configuration.
 //! * [`QueueSummary`] — queueing-delay and end-to-end percentiles
 //!   (over **completed** requests only), shed/violation counts,
 //!   utilization, makespan, warm-hit stats, rendered with the same
@@ -76,7 +88,9 @@ use sgcn_formats::LineRun;
 use sgcn_mem::{CacheConfig, MemorySystem, SpanCounts, Traffic};
 use sgcn_par::par_map;
 
+pub use crate::serving::faults::{FailureModel, FaultPlan, Incident, RetryPolicy, ScalePolicy};
 pub use crate::serving::slo::{SloConfig, SloStats};
+pub use crate::serving::trace::{ArrivalTrace, TraceArrivals};
 pub use crate::serving::traffic::{
     ArrivalModel, ArrivalProcess, BurstyArrivals, DiurnalArrivals, ThinkTimes, TrafficModel,
 };
@@ -296,6 +310,19 @@ pub struct QueueConfig {
     pub slo: Option<SloConfig>,
     /// Engine lineup (default: a uniform fleet, no stealing).
     pub fleet: FleetSpec,
+    /// Failure drill: how engines crash and recover (default: never).
+    pub faults: FailureModel,
+    /// Redrive budget for fault-killed requests (default: 3 attempts,
+    /// no backoff). Irrelevant without faults.
+    pub retry: RetryPolicy,
+    /// Elastic autoscaling; `None` keeps the static fleet. When set,
+    /// `engines` is the fleet *ceiling* and the run starts with the
+    /// policy's `min_engines` active.
+    pub autoscale: Option<ScalePolicy>,
+    /// Replay a recorded arrival timeline instead of generating one
+    /// from `traffic`. The recorded traffic label is reported in the
+    /// summary, so a faithful replay renders byte-identical JSON.
+    pub trace: Option<ArrivalTrace>,
 }
 
 impl QueueConfig {
@@ -321,6 +348,10 @@ impl QueueConfig {
             traffic: TrafficModel::Exponential,
             slo: None,
             fleet: FleetSpec::uniform(engines),
+            faults: FailureModel::None,
+            retry: RetryPolicy::default(),
+            autoscale: None,
+            trace: None,
         }
     }
 
@@ -349,6 +380,46 @@ impl QueueConfig {
         );
         self.fleet = fleet;
         self
+    }
+
+    /// Arms a failure drill.
+    pub fn with_faults(mut self, faults: FailureModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the redrive budget for fault-killed requests.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables elastic autoscaling (`engines` becomes the ceiling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's floor exceeds the engine count.
+    pub fn with_autoscale(mut self, policy: ScalePolicy) -> Self {
+        assert!(
+            policy.min_engines <= self.engines,
+            "autoscale floor {} exceeds the {}-engine ceiling",
+            policy.min_engines,
+            self.engines
+        );
+        self.autoscale = Some(policy);
+        self
+    }
+
+    /// Replays a recorded arrival timeline instead of generating one.
+    pub fn with_trace(mut self, trace: ArrivalTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Whether this run injects faults or scales the fleet — the
+    /// configurations that need the event-driven loop's drill state.
+    fn has_drills(&self) -> bool {
+        !self.faults.is_none() || self.autoscale.is_some()
     }
 }
 
@@ -452,6 +523,21 @@ pub struct ShedRecord {
     pub arrival: u64,
 }
 
+/// A request that exhausted its retry budget (or could never be
+/// re-dispatched): the third terminal state alongside completed/shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailedRecord {
+    /// Stream position.
+    pub index: usize,
+    /// Original arrival time (cycles).
+    pub arrival: u64,
+    /// The instant the request was abandoned (its last kill, or the
+    /// moment no engine could ever serve it again).
+    pub at: u64,
+    /// Dispatch attempts consumed (0 if it never reached an engine).
+    pub attempts: u32,
+}
+
 /// A request assigned to an engine but not yet started (lazy loop only).
 #[derive(Debug, Clone, Copy)]
 struct Queued {
@@ -463,7 +549,16 @@ struct Queued {
     est: u64,
 }
 
-/// Per-engine state: the warm memory hierarchy plus scheduling clocks.
+/// The request an engine is currently serving (lazy loop only) — what a
+/// crash kills.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    id: usize,
+    finish: u64,
+}
+
+/// Per-engine state: the warm memory hierarchy plus scheduling clocks
+/// and drill state (crash epoch, park/up flags, uptime accounting).
 struct Engine {
     mem: MemorySystem,
     /// Completion time of all *started* work.
@@ -478,12 +573,33 @@ struct Engine {
     warm: SpanCounts,
     /// Service-time scale of this engine's accelerator class.
     scale: f64,
+    /// Crash counter: completion events minted before a crash carry a
+    /// stale epoch and are discarded when popped.
+    epoch: u64,
+    /// `false` while crashed (between a fault-down and its fault-up).
+    up: bool,
+    /// `false` while parked by the autoscaler (or not yet provisioned).
+    active: bool,
+    /// A scale-up provision is pending for this engine.
+    provisioning: bool,
+    /// The request being served right now (lazy loop only).
+    in_flight: Option<InFlight>,
+    /// Start of the current availability interval, if available.
+    up_since: Option<u64>,
+    /// Closed availability intervals (clipped to the makespan at
+    /// finalize — a handful per run, one per crash/park).
+    up_intervals: Vec<(u64, u64)>,
 }
 
 impl Engine {
     /// Projected completion time of everything assigned so far.
     fn projected_free(&self) -> u64 {
         self.next_free.saturating_add(self.queued_est)
+    }
+
+    /// Whether the engine can take work: in the fleet and not crashed.
+    fn available(&self) -> bool {
+        self.active && self.up
     }
 }
 
@@ -509,14 +625,40 @@ pub struct QueueOutcome {
     pub records: Vec<RequestTiming>,
     /// Requests rejected at admission, in stream order.
     pub shed: Vec<ShedRecord>,
+    /// Requests that exhausted their retry budget, in stream order.
+    pub failed: Vec<FailedRecord>,
     /// Busy cycles per engine.
     pub engine_busy: Vec<u64>,
     /// Requests served per engine.
     pub engine_served: Vec<u64>,
     /// Warm-cache counts per engine.
     pub engine_warm: Vec<SpanCounts>,
+    /// Availability cycles per engine, clipped to the makespan.
+    pub engine_uptime: Vec<u64>,
     /// The aggregate view.
     pub summary: QueueSummary,
+}
+
+impl QueueOutcome {
+    /// Records the run's arrival timeline: every offered request's
+    /// arrival instant (completed, shed and failed alike) in stream
+    /// order, tagged with the traffic label that generated it. Feeding
+    /// the trace back via [`QueueConfig::with_trace`] replays the run
+    /// bit-identically.
+    pub fn arrival_trace(&self) -> ArrivalTrace {
+        let mut pairs: Vec<(usize, u64)> = self
+            .records
+            .iter()
+            .map(|r| (r.index, r.arrival))
+            .chain(self.shed.iter().map(|s| (s.index, s.arrival)))
+            .chain(self.failed.iter().map(|f| (f.index, f.arrival)))
+            .collect();
+        pairs.sort_unstable();
+        ArrivalTrace::new(
+            self.summary.traffic.clone(),
+            pairs.into_iter().map(|(_, t)| t).collect(),
+        )
+    }
 }
 
 /// Scales a cold service time by an engine class factor. A reference
@@ -536,34 +678,80 @@ struct QueueSim<'a> {
     engines: Vec<Engine>,
     records: Vec<RequestTiming>,
     shed: Vec<ShedRecord>,
-    completions: BinaryHeap<Reverse<(u64, usize)>>,
+    failed: Vec<FailedRecord>,
+    /// Pending completions `(finish, engine, epoch, id)`: entries with a
+    /// stale epoch were killed by a crash and are discarded on pop.
+    completions: BinaryHeap<Reverse<(u64, usize, u64, usize)>>,
     source: Source,
     effective_bw: f64,
     line_bytes: u64,
     row_stride: u64,
     affinity_slack: u64,
     event_driven: bool,
+    /// Drill state (faults/autoscale): changes event ordering details
+    /// (deferred closed-loop feedback, availability bookkeeping), so it
+    /// is only armed when the configuration actually drills.
+    drills: bool,
+    /// Crash/recovery schedule: `(time, 0=up|1=down, engine)`, sorted.
+    /// Recoveries sort before crashes at equal instants so chained
+    /// incidents (`up_at == next down_at`) hand over cleanly.
+    drill_events: Vec<(u64, u8, usize)>,
+    drill_ptr: usize,
+    /// Pending scale-up completions `(time, engine)`.
+    provisions: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Pending redrives `(time, id)` — killed requests waiting out their
+    /// backoff, and arrivals deferred past a total outage.
+    redrives: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Dispatch count per request (terminal `failed` when it would
+    /// exceed `retry.max_attempts`).
+    attempts: Vec<u32>,
+    /// Original arrival instant per request (drill bookkeeping).
+    arrival_of: Vec<u64>,
+    /// Mean cold service time of the prepared stream (cycles).
+    mean_service: f64,
+    /// Autoscale provisioning delay / decision cooldown (cycles).
+    prov_delay: u64,
+    cooldown_cycles: u64,
+    cooldown_until: u64,
+    incidents: u64,
+    retries: u64,
+    peak_available: usize,
 }
 
 impl QueueSim<'_> {
+    /// Whether any engine can take work right now.
+    fn any_available(&self) -> bool {
+        self.engines.iter().any(Engine::available)
+    }
+
     /// Picks the serving engine for a request arriving at `arrival` —
     /// identical decision logic for both loops; the eager loop's queues
     /// are always empty, so `projected_free` collapses to `next_free`
-    /// there.
+    /// there. Crashed and parked engines are never picked; callers check
+    /// [`Self::any_available`] first (trivially true without drills).
     fn pick_engine(&self, p: &PreparedRequest, arrival: u64) -> usize {
         match self.cfg.policy {
             // Dispatch by the request's stream index (not loop
             // position), so the documented `i mod N` contract holds even
             // when a caller simulates a subset or reordering of a
-            // stream.
-            SchedPolicy::FifoRoundRobin => p.request.index % self.engines.len(),
+            // stream. A down round-robin target falls through to the
+            // next available engine in cyclic order.
+            SchedPolicy::FifoRoundRobin => {
+                let n = self.engines.len();
+                let base = p.request.index % n;
+                (0..n)
+                    .map(|k| (base + k) % n)
+                    .find(|&e| self.engines[e].available())
+                    .expect("an engine is available")
+            }
             SchedPolicy::LeastLoaded | SchedPolicy::SloAware => self
                 .engines
                 .iter()
                 .enumerate()
+                .filter(|(_, e)| e.available())
                 .min_by_key(|(id, e)| (e.projected_free(), *id))
                 .map(|(id, _)| id)
-                .expect("at least one engine"),
+                .expect("an engine is available"),
             SchedPolicy::CacheAffinity => {
                 // Bounded-load affinity: an engine's backlog is the work
                 // queued beyond the request's arrival instant; only
@@ -577,14 +765,15 @@ impl QueueSim<'_> {
                 let min_backlog = self
                     .engines
                     .iter()
+                    .filter(|e| e.available())
                     .map(backlog)
                     .min()
-                    .expect("at least one engine");
+                    .expect("an engine is available");
                 let limit = min_backlog.saturating_add(self.affinity_slack);
                 let mut best = usize::MAX;
                 let mut best_key = (0u64, 0u64); // (hits, -projected_free) maximized
                 for (id, eng) in self.engines.iter().enumerate() {
-                    if backlog(eng) > limit {
+                    if !eng.available() || backlog(eng) > limit {
                         continue;
                     }
                     let hits: u64 = p
@@ -667,7 +856,9 @@ impl QueueSim<'_> {
             warm,
         });
         if self.event_driven {
-            self.completions.push(Reverse((finish, e)));
+            let epoch = self.engines[e].epoch;
+            self.engines[e].in_flight = Some(InFlight { id, finish });
+            self.completions.push(Reverse((finish, e, epoch, id)));
         }
         finish
     }
@@ -768,28 +959,119 @@ impl QueueSim<'_> {
     /// otherwise) when an engine frees up; idle engines may steal queued
     /// work from backlogged peers. Arrivals at an instant are processed
     /// before completions at the same instant, so a completing engine
-    /// sees the freshest queue.
+    /// sees the freshest queue. Drill events interleave with a fixed
+    /// priority at equal instants: recovery < crash < provision <
+    /// arrival < redrive < completion — so a chained incident hands
+    /// over cleanly, a revived engine catches same-instant redrives,
+    /// and a crash at a request's exact finish instant kills it.
     fn run_lazy(&mut self) {
+        // Autoscaling decisions happen at instant *boundaries* (when
+        // the clock is about to advance), never between two events at
+        // the same instant: the end-of-instant fleet state is identical
+        // no matter how same-instant events interleave (closed-loop
+        // feedback schedules arrivals after the completion that freed
+        // the client; a trace replay of the same timeline materializes
+        // them up front), so boundary evaluation is what keeps
+        // record→replay bit-identical.
+        let mut now = 0u64;
+        let mut evaluated_at = u64::MAX;
         loop {
-            let ta = self.peek_arrival();
-            let tc = self.completions.peek().map(|Reverse((t, _))| *t);
-            match (ta, tc) {
-                (None, None) => break,
-                (Some(a), c) if c.is_none() || a <= c.expect("checked") => {
+            self.purge_stale_completions();
+            let tf = self
+                .drill_events
+                .get(self.drill_ptr)
+                .map(|&(t, kind, _)| (t, kind));
+            let tp = self.provisions.peek().map(|Reverse((t, _))| (*t, 2u8));
+            let ta = self.peek_arrival().map(|t| (t, 3u8));
+            let tr = self.redrives.peek().map(|Reverse((t, _))| (*t, 4u8));
+            let tc = self.completions.peek().map(|Reverse((t, ..))| (*t, 5u8));
+            if ta.is_none() && tr.is_none() && tc.is_none() {
+                // No work left anywhere (engine queues drain whenever a
+                // completion is pending, so they are empty too): the
+                // remaining fault/provision events are beyond the
+                // makespan and cannot affect any metric.
+                break;
+            }
+            let next = [tf, tp, ta, tr, tc]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("some source is non-empty");
+            if self.cfg.autoscale.is_some() && next.0 > now && evaluated_at != now {
+                // The instant is complete: one scaling decision, then
+                // re-gather (a zero-delay provision lands at `now` and
+                // must process before the clock moves).
+                evaluated_at = now;
+                self.evaluate_scaling(now);
+                continue;
+            }
+            now = next.0;
+            match next.1 {
+                0 | 1 => {
+                    let (t, kind, e) = self.drill_events[self.drill_ptr];
+                    self.drill_ptr += 1;
+                    if kind == 0 {
+                        self.recover(e, t);
+                    } else {
+                        self.crash(e, t);
+                    }
+                }
+                2 => {
+                    let Reverse((t, e)) = self.provisions.pop().expect("peeked");
+                    self.provision_complete(e, t);
+                }
+                3 => {
                     let (id, t) = self.next_arrival().expect("peeked");
                     self.lazy_arrival(id, t);
                 }
+                4 => {
+                    let Reverse((t, id)) = self.redrives.pop().expect("peeked");
+                    self.process_redrive(id, t);
+                }
                 _ => {
-                    let Reverse((t, _)) = self.completions.pop().expect("peeked");
+                    let Reverse((t, e, epoch, id)) = self.completions.pop().expect("peeked");
+                    if self.drills && self.engines[e].epoch == epoch {
+                        // A real completion (not killed by a crash):
+                        // release the closed-loop client that was held
+                        // until the outcome was known, and clear the
+                        // slot unless a same-instant dispatch already
+                        // reused it.
+                        if let Some(fl) = self.engines[e].in_flight {
+                            if fl.id == id && fl.finish == t {
+                                self.engines[e].in_flight = None;
+                            }
+                        }
+                        self.schedule_next_client(id, t);
+                    } else if !self.drills {
+                        self.engines[e].in_flight = None;
+                    }
                     self.dispatch_idle(t);
                 }
             }
         }
     }
 
+    /// Drops completion entries whose engine crashed after they were
+    /// minted (their epoch is stale) so peeks see only live work.
+    fn purge_stale_completions(&mut self) {
+        while let Some(&Reverse((_, e, epoch, _))) = self.completions.peek() {
+            if self.engines[e].epoch == epoch {
+                break;
+            }
+            self.completions.pop();
+        }
+    }
+
     /// Lazy-loop arrival: admission, assignment, and a dispatch pass so
-    /// an idle fleet starts the request immediately.
+    /// an idle fleet starts the request immediately. Under drills an
+    /// arrival into a total outage is deferred to the next revival (or
+    /// failed outright when none is coming).
     fn lazy_arrival(&mut self, id: usize, t: u64) {
+        self.arrival_of[id] = t;
+        if self.drills && !self.any_available() {
+            self.defer_or_fail(id, t);
+            return;
+        }
         let p = &self.prepared[id];
         let e = self.pick_engine(p, t);
         let est = scale_service(p.report.cycles, self.engines[e].scale);
@@ -801,6 +1083,7 @@ impl QueueSim<'_> {
             self.schedule_next_client(id, t);
             return;
         }
+        self.attempts[id] = 1;
         self.engines[e].queue.push(Queued {
             id,
             arrival: t,
@@ -810,20 +1093,245 @@ impl QueueSim<'_> {
         self.dispatch_idle(t);
     }
 
-    /// Starts queued work on every idle engine (its own queue first, a
-    /// stolen tail entry from the longest peer queue otherwise).
+    /// Starts queued work on every idle available engine (its own queue
+    /// first, a stolen tail entry from the longest peer queue
+    /// otherwise).
     fn dispatch_idle(&mut self, t: u64) {
         for e in 0..self.engines.len() {
-            if self.engines[e].next_free > t {
-                continue; // mid-service
+            if !self.engines[e].available() || self.engines[e].next_free > t {
+                continue; // down, parked, or mid-service
             }
             if let Some(q) = self.pop_next(e) {
                 let est = scale_service(self.prepared[q.id].report.cycles, self.engines[e].scale);
                 let start = t.max(self.engines[e].next_free);
                 let finish = self.start_service(e, q.id, q.arrival, est, start);
-                self.schedule_next_client(q.id, finish);
+                // Under drills the closed-loop client is released at the
+                // completion *event* instead (the request may yet be
+                // killed and redriven — its outcome is not known here).
+                if !self.drills {
+                    self.schedule_next_client(q.id, finish);
+                }
             }
         }
+    }
+
+    /// A killed (or undeliverable) request either re-enters dispatch
+    /// after the retry backoff or terminates as failed when its
+    /// dispatch budget is spent.
+    fn handle_kill(&mut self, id: usize, t: u64) {
+        if self.attempts[id] >= self.cfg.retry.max_attempts {
+            self.fail(id, t);
+        } else {
+            self.redrives.push(Reverse((
+                t.saturating_add(self.cfg.retry.backoff_cycles),
+                id,
+            )));
+        }
+    }
+
+    /// Terminal failure: record it and release the closed-loop client.
+    fn fail(&mut self, id: usize, t: u64) {
+        self.failed.push(FailedRecord {
+            index: self.prepared[id].request.index,
+            arrival: self.arrival_of[id],
+            at: t,
+            attempts: self.attempts[id],
+        });
+        self.schedule_next_client(id, t);
+    }
+
+    /// No engine can take the request now: park it until the next
+    /// revival event (fault recovery or pending provision), or fail it
+    /// when no revival is ever coming. Revival candidates are strictly
+    /// in the future — same-instant recoveries and provisions sort
+    /// before arrivals and redrives — so this always makes progress.
+    fn defer_or_fail(&mut self, id: usize, t: u64) {
+        let next_up = self.drill_events[self.drill_ptr..]
+            .iter()
+            .find(|ev| ev.1 == 0)
+            .map(|ev| ev.0);
+        let next_prov = self.provisions.peek().map(|Reverse((t, _))| *t);
+        match next_up.into_iter().chain(next_prov).min() {
+            Some(revival) => {
+                // A same-instant revival can only be a provision pushed
+                // while processing this very instant; it sorts before
+                // the redrive (priority 2 < 4), so progress is made.
+                debug_assert!(revival >= t, "revival events at {t} were already processed");
+                self.redrives.push(Reverse((revival, id)));
+            }
+            None => self.fail(id, t),
+        }
+    }
+
+    /// Redrive pop: dispatch a killed request again (bypassing SLO
+    /// admission — it was already admitted), or run the first dispatch
+    /// of an arrival that was deferred past a total outage (which still
+    /// faces admission).
+    fn process_redrive(&mut self, id: usize, t: u64) {
+        if !self.any_available() {
+            self.defer_or_fail(id, t);
+            return;
+        }
+        let first_dispatch = self.attempts[id] == 0;
+        let p = &self.prepared[id];
+        let e = self.pick_engine(p, t);
+        let est = scale_service(p.report.cycles, self.engines[e].scale);
+        if first_dispatch && self.shed_decision(t, e, est) {
+            self.shed.push(ShedRecord {
+                index: p.request.index,
+                arrival: self.arrival_of[id],
+            });
+            self.schedule_next_client(id, t);
+            return;
+        }
+        self.attempts[id] += 1;
+        if !first_dispatch {
+            self.retries += 1;
+        }
+        self.engines[e].queue.push(Queued {
+            id,
+            arrival: self.arrival_of[id],
+            est,
+        });
+        self.engines[e].queued_est = self.engines[e].queued_est.saturating_add(est);
+        self.dispatch_idle(t);
+    }
+
+    /// Fault-down: the engine drops its in-flight request and queue
+    /// (both re-enter dispatch via the retry policy), bumps its epoch so
+    /// pending completion events die with it, and closes its
+    /// availability interval.
+    fn crash(&mut self, e: usize, t: u64) {
+        if !self.engines[e].up {
+            return; // overlapping scripted outages merge
+        }
+        self.incidents += 1;
+        self.close_uptime(e, t);
+        self.engines[e].up = false;
+        self.engines[e].epoch += 1;
+        if let Some(fl) = self.engines[e].in_flight.take() {
+            // Un-record the aborted service: the engine was genuinely
+            // occupied from start to the crash, but rendered nothing.
+            let idx = self.prepared[fl.id].request.index;
+            let pos = self
+                .records
+                .iter()
+                .rposition(|r| r.index == idx && r.finish == fl.finish && r.engine == e)
+                .expect("in-flight request has a record");
+            let rec = self.records.remove(pos);
+            let eng = &mut self.engines[e];
+            eng.busy -= fl.finish - t;
+            eng.served -= 1;
+            eng.warm.lines -= rec.warm.lines;
+            eng.warm.hits -= rec.warm.hits;
+            eng.warm.misses -= rec.warm.misses;
+            self.handle_kill(fl.id, t);
+        }
+        self.engines[e].next_free = t;
+        let killed = std::mem::take(&mut self.engines[e].queue);
+        self.engines[e].queued_est = 0;
+        for q in killed {
+            self.handle_kill(q.id, t);
+        }
+    }
+
+    /// Fault-up: the engine returns **cold** (its memory system
+    /// power-cycled) and immediately joins dispatch.
+    fn recover(&mut self, e: usize, t: u64) {
+        if self.engines[e].up {
+            return; // merged overlapping outage already recovered
+        }
+        self.engines[e].up = true;
+        self.engines[e].mem.reset_cold();
+        self.engines[e].next_free = t;
+        self.open_uptime(e, t);
+        self.update_peak();
+        self.dispatch_idle(t);
+    }
+
+    /// Scale-up provision completed: the engine joins the fleet cold.
+    fn provision_complete(&mut self, e: usize, t: u64) {
+        let eng = &mut self.engines[e];
+        eng.provisioning = false;
+        eng.active = true;
+        eng.mem.reset_cold();
+        eng.next_free = eng.next_free.max(t);
+        self.open_uptime(e, t);
+        self.update_peak();
+        self.dispatch_idle(t);
+    }
+
+    /// Backlog-pressure autoscaling, evaluated after every event:
+    /// outstanding work (queued estimates + unfinished service) per
+    /// available engine, in mean cold services. Above `up_pressure` the
+    /// lowest-id parked engine starts provisioning; below
+    /// `down_pressure` the highest-id idle engine parks. Pending
+    /// provisions count as capacity so one backlog spike does not
+    /// provision the whole reserve, and a cooldown separates decisions.
+    fn evaluate_scaling(&mut self, t: u64) {
+        let pol = self.cfg.autoscale.clone().expect("autoscale is on");
+        if t < self.cooldown_until {
+            return;
+        }
+        let available = self.engines.iter().filter(|e| e.available()).count();
+        let pending = self.engines.iter().filter(|e| e.provisioning).count();
+        let outstanding: u64 = self
+            .engines
+            .iter()
+            .filter(|e| e.available())
+            .map(|e| e.queued_est.saturating_add(e.next_free.saturating_sub(t)))
+            .sum();
+        let capacity = (available + pending) as f64 * self.mean_service;
+        let pressure = if capacity > 0.0 {
+            outstanding as f64 / capacity
+        } else if outstanding > 0 || !self.redrives.is_empty() || self.peek_arrival().is_some() {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let active = self.engines.iter().filter(|e| e.active).count();
+        if pressure > pol.up_pressure && active + pending < self.engines.len() {
+            if let Some(e) = self
+                .engines
+                .iter()
+                .position(|e| !e.active && !e.provisioning)
+            {
+                self.engines[e].provisioning = true;
+                self.provisions
+                    .push(Reverse((t.saturating_add(self.prov_delay), e)));
+                self.cooldown_until = t.saturating_add(self.cooldown_cycles);
+            }
+        } else if pressure < pol.down_pressure && active > pol.min_engines && pending == 0 {
+            // Park the highest-id engine that is truly idle.
+            if let Some(e) = self.engines.iter().rposition(|e| {
+                e.available() && e.in_flight.is_none() && e.queue.is_empty() && e.next_free <= t
+            }) {
+                self.close_uptime(e, t);
+                self.engines[e].active = false;
+                self.cooldown_until = t.saturating_add(self.cooldown_cycles);
+            }
+        }
+    }
+
+    /// Closes engine `e`'s availability interval at `t`.
+    fn close_uptime(&mut self, e: usize, t: u64) {
+        if let Some(since) = self.engines[e].up_since.take() {
+            self.engines[e].up_intervals.push((since, t));
+        }
+    }
+
+    /// Opens engine `e`'s availability interval at `t` if it is
+    /// available and none is open.
+    fn open_uptime(&mut self, e: usize, t: u64) {
+        if self.engines[e].available() && self.engines[e].up_since.is_none() {
+            self.engines[e].up_since = Some(t);
+        }
+    }
+
+    /// Tracks the largest simultaneously-available fleet.
+    fn update_peak(&mut self) {
+        let now = self.engines.iter().filter(|e| e.available()).count();
+        self.peak_available = self.peak_available.max(now);
     }
 
     /// The next request engine `e` should serve: its own queue in
@@ -929,37 +1437,52 @@ pub fn simulate_queue_forced(
     };
     let mean_gap = mean_service / (cfg.engines as f64 * cfg.offered_load);
 
-    let source = match cfg.traffic {
-        TrafficModel::ClosedLoop { clients } => {
-            assert!(clients > 0, "closed-loop traffic needs at least one client");
-            // Interactive-response-time calibration: K clients cycling
-            // through think + response approach throughput K/(Z + R);
-            // targeting ρ of the fleet's reference capacity with R ≈ one
-            // mean service gives Z = S·(K/(N·ρ) − 1), clamped at 0 (more
-            // clients than the target supports simply saturate).
-            let think_mean = (mean_service
-                * (clients as f64 / (cfg.engines as f64 * cfg.offered_load) - 1.0))
-                .max(0.0);
-            let mut ready = BinaryHeap::with_capacity(clients);
-            for c in 0..clients {
-                ready.push(Reverse((0u64, c)));
-            }
-            Source::Closed {
-                ready,
-                cursor: 0,
-                limit: n,
-                think: ThinkTimes::new(cfg.seed, think_mean),
-                client_of: vec![0; n],
-            }
-        }
-        _ => Source::Open {
-            times: cfg
-                .traffic
-                .open_loop(cfg.seed, mean_gap)
-                .expect("open-loop model")
-                .timeline(n),
+    let source = if let Some(trace) = &cfg.trace {
+        // Replay: the recorded timeline *is* the arrival source, no
+        // matter which model generated it (a recorded closed loop
+        // replays open — the recording already contains the feedback).
+        assert_eq!(
+            trace.len(),
+            n,
+            "arrival trace length must match the prepared stream"
+        );
+        Source::Open {
+            times: trace.times.clone(),
             ptr: 0,
-        },
+        }
+    } else {
+        match cfg.traffic {
+            TrafficModel::ClosedLoop { clients } => {
+                assert!(clients > 0, "closed-loop traffic needs at least one client");
+                // Interactive-response-time calibration: K clients cycling
+                // through think + response approach throughput K/(Z + R);
+                // targeting ρ of the fleet's reference capacity with R ≈ one
+                // mean service gives Z = S·(K/(N·ρ) − 1), clamped at 0 (more
+                // clients than the target supports simply saturate).
+                let think_mean = (mean_service
+                    * (clients as f64 / (cfg.engines as f64 * cfg.offered_load) - 1.0))
+                    .max(0.0);
+                let mut ready = BinaryHeap::with_capacity(clients);
+                for c in 0..clients {
+                    ready.push(Reverse((0u64, c)));
+                }
+                Source::Closed {
+                    ready,
+                    cursor: 0,
+                    limit: n,
+                    think: ThinkTimes::new(cfg.seed, think_mean),
+                    client_of: vec![0; n],
+                }
+            }
+            _ => Source::Open {
+                times: cfg
+                    .traffic
+                    .open_loop(cfg.seed, mean_gap)
+                    .expect("open-loop model")
+                    .timeline(n),
+                ptr: 0,
+            },
+        }
     };
 
     // Warm hits displace DRAM fetches; the shaved service time is the
@@ -979,29 +1502,78 @@ pub fn simulate_queue_forced(
     // starve the rest of the fleet behind one hot engine).
     let affinity_slack = (2.0 * mean_service).ceil() as u64;
 
+    if let Some(pol) = &cfg.autoscale {
+        assert!(
+            pol.min_engines <= cfg.engines,
+            "autoscale floor {} exceeds the {}-engine ceiling",
+            pol.min_engines,
+            cfg.engines
+        );
+    }
+    // The starting fleet: everything, or the autoscale floor.
+    let initial_active = cfg
+        .autoscale
+        .as_ref()
+        .map_or(cfg.engines, |p| p.min_engines);
     let engines: Vec<Engine> = cfg
         .fleet
         .scales
         .iter()
-        .map(|&scale| Engine {
-            mem: MemorySystem::with_engine(cfg.warm_cache, hw.dram, hw.cache_engine),
-            next_free: 0,
-            queue: Vec::new(),
-            queued_est: 0,
-            busy: 0,
-            served: 0,
-            warm: SpanCounts::default(),
-            scale,
+        .enumerate()
+        .map(|(e, &scale)| {
+            let active = e < initial_active;
+            Engine {
+                mem: MemorySystem::with_engine(cfg.warm_cache, hw.dram, hw.cache_engine),
+                next_free: 0,
+                queue: Vec::new(),
+                queued_est: 0,
+                busy: 0,
+                served: 0,
+                warm: SpanCounts::default(),
+                scale,
+                epoch: 0,
+                up: true,
+                active,
+                provisioning: false,
+                in_flight: None,
+                up_since: active.then_some(0),
+                up_intervals: Vec::new(),
+            }
         })
         .collect();
 
-    let lazy = force_lazy || cfg.policy.reorders_queue() || cfg.fleet.work_stealing;
+    // The fault schedule, materialized against the stream's own mean
+    // cold service (pure in `(model, seed, engines, mean)`). Recoveries
+    // sort before crashes at equal instants — see `run_lazy`.
+    let plan = cfg.faults.materialize(cfg.seed, cfg.engines, mean_service);
+    let mut drill_events: Vec<(u64, u8, usize)> = Vec::with_capacity(2 * plan.incidents().len());
+    for inc in plan.incidents() {
+        drill_events.push((inc.down_at, 1, inc.engine));
+        drill_events.push((inc.up_at, 0, inc.engine));
+    }
+    drill_events.sort_unstable();
+
+    let drills = cfg.has_drills();
+    let (prov_delay, cooldown_cycles) = match &cfg.autoscale {
+        Some(p) => (
+            (p.provision_services * mean_service).round() as u64,
+            (p.cooldown_services * mean_service).round() as u64,
+        ),
+        None => (0, 0),
+    };
+    let lazy = force_lazy || cfg.policy.reorders_queue() || cfg.fleet.work_stealing || drills;
+    assert!(
+        !drills || lazy,
+        "failure drills always run the event-driven loop"
+    );
+    let peak_available = engines.iter().filter(|e| e.available()).count();
     let mut sim = QueueSim {
         prepared,
         cfg,
         engines,
         records: Vec::with_capacity(n),
         shed: Vec::new(),
+        failed: Vec::new(),
         completions: BinaryHeap::new(),
         source,
         effective_bw,
@@ -1009,6 +1581,20 @@ pub fn simulate_queue_forced(
         row_stride,
         affinity_slack,
         event_driven: lazy,
+        drills,
+        drill_events,
+        drill_ptr: 0,
+        provisions: BinaryHeap::new(),
+        redrives: BinaryHeap::new(),
+        attempts: vec![0; n],
+        arrival_of: vec![0; n],
+        mean_service,
+        prov_delay,
+        cooldown_cycles,
+        cooldown_until: 0,
+        incidents: 0,
+        retries: 0,
+        peak_available,
     };
     if lazy {
         sim.run_lazy();
@@ -1017,27 +1603,66 @@ pub fn simulate_queue_forced(
     }
 
     let QueueSim {
-        engines,
+        mut engines,
         mut records,
         mut shed,
+        mut failed,
+        incidents,
+        retries,
+        peak_available,
         ..
     } = sim;
     // The lazy loop records in service-start order; report in stream
     // order like the eager loop does naturally.
     records.sort_by_key(|r| r.index);
     shed.sort_by_key(|s| s.index);
-    debug_assert_eq!(records.len() + shed.len(), n, "conservation");
+    failed.sort_by_key(|f| f.index);
+    debug_assert_eq!(records.len() + shed.len() + failed.len(), n, "conservation");
+
+    // Availability is defined over [0, makespan]: close every open
+    // interval there and clip the closed ones (a fault event can be
+    // processed past the last completion when a later arrival sheds).
+    let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
+    for eng in &mut engines {
+        if let Some(since) = eng.up_since.take() {
+            eng.up_intervals.push((since, u64::MAX));
+        }
+    }
+    let engine_uptime: Vec<u64> = engines
+        .iter()
+        .map(|e| {
+            e.up_intervals
+                .iter()
+                .map(|&(s, t)| t.min(makespan).saturating_sub(s.min(makespan)))
+                .sum()
+        })
+        .collect();
 
     let engine_busy: Vec<u64> = engines.iter().map(|e| e.busy).collect();
     let engine_served: Vec<u64> = engines.iter().map(|e| e.served).collect();
     let engine_warm: Vec<SpanCounts> = engines.iter().map(|e| e.warm).collect();
-    let summary = QueueSummary::from_run(&records, &shed, &engine_busy, cfg);
+    let drill_stats = DrillStats {
+        incidents,
+        retries,
+        peak_engines: peak_available,
+    };
+    let summary = QueueSummary::from_run(
+        &records,
+        &shed,
+        &failed,
+        &engine_busy,
+        &engine_uptime,
+        &drill_stats,
+        cfg,
+    );
     QueueOutcome {
         records,
         shed,
+        failed,
         engine_busy,
         engine_served,
         engine_warm,
+        engine_uptime,
         summary,
     }
 }
@@ -1124,28 +1749,64 @@ pub struct QueueSummary {
     pub warm_hits: u64,
     /// `warm_hits / warm_lines` (0 when no lines).
     pub warm_hit_rate: f64,
+    /// Failure-model label (`none` without a drill).
+    pub faults: String,
+    /// Retry-policy label.
+    pub retry: String,
+    /// Autoscale label (`none` for a static fleet).
+    pub autoscale: String,
+    /// Engine crashes that actually fired.
+    pub incidents: u64,
+    /// Redrive dispatches of fault-killed requests.
+    pub retries: u64,
+    /// Requests that exhausted their retry budget.
+    pub failed: u64,
+    /// `failed / requests` (0 when nothing offered).
+    pub failed_rate: f64,
+    /// Fleet availability: uptime cycles / (engines × makespan), in
+    /// `[0, 1]` (1.0 for a drill-free run, 0 when empty).
+    pub availability: f64,
+    /// Largest simultaneously-available fleet observed.
+    pub peak_engines: usize,
+}
+
+/// Drill counters threaded from the event loop into the summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrillStats {
+    /// Engine crashes that actually fired.
+    pub incidents: u64,
+    /// Redrive dispatches.
+    pub retries: u64,
+    /// Largest simultaneously-available fleet.
+    pub peak_engines: usize,
 }
 
 impl QueueSummary {
     /// Aggregates a run. Percentiles, makespan, throughput and warm
-    /// stats cover **completed** requests only; shed requests contribute
-    /// to the shed accounting alone. An empty — or fully shed — stream
-    /// yields the all-zero latency block: every ratio has a
-    /// zero-denominator guard, so no field is ever `inf`/`NaN`.
+    /// stats cover **completed** requests only; shed and failed requests
+    /// contribute to their own accounting alone. An empty — or fully
+    /// shed, or fully failed — stream yields the all-zero latency
+    /// block: every ratio has a zero-denominator guard (including
+    /// utilization and availability over zero-uptime fleets), so no
+    /// field is ever `inf`/`NaN`.
     pub fn from_run(
         records: &[RequestTiming],
         shed: &[ShedRecord],
+        failed: &[FailedRecord],
         engine_busy: &[u64],
+        engine_uptime: &[u64],
+        drill: &DrillStats,
         cfg: &QueueConfig,
     ) -> Self {
         let completed = records.len();
-        let offered = completed + shed.len();
+        let offered = completed + shed.len() + failed.len();
         let mut waits: Vec<u64> = records.iter().map(|r| r.wait_cycles()).collect();
         let mut e2es: Vec<u64> = records.iter().map(|r| r.e2e_cycles()).collect();
         waits.sort_unstable();
         e2es.sort_unstable();
         let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
         let busy: u64 = engine_busy.iter().sum();
+        let uptime: u64 = engine_uptime.iter().sum();
         let mut warm = SpanCounts::default();
         for r in records {
             warm.add(r.warm);
@@ -1168,7 +1829,13 @@ impl QueueSummary {
             engines: cfg.engines,
             policy: cfg.policy.label(),
             offered_load: cfg.offered_load,
-            traffic: cfg.traffic.label(),
+            // A replayed run reports the label of the traffic that was
+            // recorded, so a faithful replay renders identical bytes.
+            traffic: cfg
+                .trace
+                .as_ref()
+                .map(|t| t.traffic.clone())
+                .unwrap_or_else(|| cfg.traffic.label()),
             fleet: cfg.fleet.label(),
             deadline_cycles: cfg.slo.map(|s| s.deadline_cycles).unwrap_or(0),
             completed,
@@ -1188,10 +1855,25 @@ impl QueueSummary {
             p99_e2e_cycles: percentile(&e2es, 99),
             max_e2e_cycles: e2es.last().copied().unwrap_or(0),
             throughput_rps: div(completed as f64 * 1e9, makespan as f64),
-            utilization: div(busy as f64, cfg.engines as f64 * makespan as f64),
+            // Busy over *uptime*: a drill-free fleet's uptime is exactly
+            // engines × makespan, reproducing the legacy ratio bit for
+            // bit; a drilled fleet is not billed for its downtime.
+            utilization: div(busy as f64, uptime as f64),
             warm_lines: warm.lines,
             warm_hits: warm.hits,
             warm_hit_rate: div(warm.hits as f64, warm.lines as f64),
+            faults: cfg.faults.label(),
+            retry: cfg.retry.label(),
+            autoscale: cfg
+                .autoscale
+                .as_ref()
+                .map_or_else(|| "none".to_string(), ScalePolicy::label),
+            incidents: drill.incidents,
+            retries: drill.retries,
+            failed: failed.len() as u64,
+            failed_rate: div(failed.len() as f64, offered as f64),
+            availability: div(uptime as f64, cfg.engines as f64 * makespan as f64),
+            peak_engines: drill.peak_engines,
         }
     }
 
@@ -1201,7 +1883,7 @@ impl QueueSummary {
     pub fn to_json(&self, label: &str) -> String {
         let label = label.replace('\\', "\\\\").replace('"', "\\\"");
         format!(
-            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6}\n}}\n",
+            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {}\n}}\n",
             self.requests,
             self.engines,
             self.policy,
@@ -1230,6 +1912,15 @@ impl QueueSummary {
             self.warm_lines,
             self.warm_hits,
             self.warm_hit_rate,
+            self.faults,
+            self.retry,
+            self.autoscale,
+            self.incidents,
+            self.retries,
+            self.failed,
+            self.failed_rate,
+            self.availability,
+            self.peak_engines,
         )
     }
 }
@@ -1727,6 +2418,231 @@ mod tests {
             "fast engine served {} of 24",
             stolen.engine_served[0]
         );
+    }
+
+    #[test]
+    fn crash_kills_in_flight_work_and_redrive_completes_it() {
+        let (_ctx, prepared, row) = prepared_tiny(12, 3);
+        let hw = HwConfig::default();
+        let base = qcfg(2, SchedPolicy::LeastLoaded);
+        let dry = simulate_queue(&prepared, &base, &hw, row);
+        // Crash engine `victim` in the middle of its first service.
+        let first = dry
+            .records
+            .iter()
+            .min_by_key(|r| (r.start, r.index))
+            .expect("non-empty run");
+        let victim = first.engine;
+        let down = (first.start + first.finish) / 2;
+        let outage = first.service_cycles; // recover after one service
+        let cfg = base
+            .clone()
+            .with_faults(FailureModel::parse(&format!("script:{victim}@{down}+{outage}")).unwrap())
+            .with_retry(RetryPolicy::new(3, 0));
+        let out = simulate_queue(&prepared, &cfg, &hw, row);
+        let s = &out.summary;
+        assert_eq!(s.incidents, 1);
+        assert!(s.retries >= 1, "the killed request redrives");
+        assert_eq!(out.failed.len(), 0, "budget of 3 attempts is plenty");
+        assert_eq!(out.records.len(), 12, "everything still completes");
+        assert!(
+            s.availability < 1.0 && s.availability > 0.0,
+            "availability {}",
+            s.availability
+        );
+        // The killed request finished later than in the clean run.
+        let clean = dry.records.iter().find(|r| r.index == first.index).unwrap();
+        let redriven = out.records.iter().find(|r| r.index == first.index).unwrap();
+        assert!(redriven.finish > clean.finish);
+        // No service interval overlaps the outage on the victim engine.
+        let up = down + outage;
+        for r in &out.records {
+            if r.engine == victim {
+                assert!(
+                    r.finish <= down || r.start >= up,
+                    "request {} served on engine {victim} during its outage",
+                    r.index
+                );
+            }
+        }
+        assert_eq!(out.records.len() + out.shed.len() + out.failed.len(), 12);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_failed_terminal_state() {
+        // One engine, a flood of arrivals (every request in the system
+        // before half a service elapses), a crash mid-first-service and
+        // a single-attempt budget: the whole stream fails.
+        let (_ctx, prepared, row) = prepared_tiny(8, 1);
+        let hw = HwConfig::default();
+        let mean = prepared.iter().map(|p| p.report.cycles).sum::<u64>() / 8;
+        let cfg = QueueConfig::new(1, SchedPolicy::LeastLoaded, 100.0, 7)
+            .with_faults(
+                FailureModel::parse(&format!("script:0@{}+{}", mean / 2, 20 * mean)).unwrap(),
+            )
+            .with_retry(RetryPolicy::new(1, 0));
+        let out = simulate_queue(&prepared, &cfg, &hw, row);
+        assert!(out.records.is_empty(), "nothing survives a 1-attempt kill");
+        assert_eq!(out.failed.len(), 8);
+        for f in &out.failed {
+            assert_eq!(f.attempts, 1);
+            assert_eq!(f.at, mean / 2, "all killed at the crash instant");
+        }
+        let s = &out.summary;
+        assert_eq!(s.requests, 8);
+        assert_eq!(s.failed, 8);
+        assert_eq!(s.failed_rate, 1.0);
+        assert_eq!(s.completed, 0);
+        // Satellite: zero-uptime accounting renders finite, all-zero.
+        assert_eq!(s.makespan_cycles, 0);
+        assert_eq!(s.utilization, 0.0);
+        assert_eq!(s.availability, 0.0);
+        assert_eq!(s.throughput_rps, 0.0);
+        let json = s.to_json("all-failed");
+        assert!(
+            !json.contains("inf") && !json.contains("NaN") && !json.contains("nan"),
+            "{json}"
+        );
+        assert!(json.contains("\"failed_rate\": 1.000000"), "{json}");
+        assert!(json.contains("\"availability\": 0.000000"), "{json}");
+    }
+
+    #[test]
+    fn recovered_engine_returns_cold_and_pays_the_warm_up_again() {
+        // One engine, one hot seed at light load: every post-warm-up
+        // request hits. Crash the engine in an idle gap; the next
+        // request after recovery must be cold again.
+        let (_ctx, prepared, row) = prepared_tiny(10, 1);
+        let hw = HwConfig::default();
+        let base = QueueConfig::new(1, SchedPolicy::LeastLoaded, 0.3, 7);
+        let dry = simulate_queue(&prepared, &base, &hw, row);
+        assert!(
+            dry.records.iter().skip(1).all(|r| r.warm.hits > 0),
+            "identical requests re-hit in the clean run"
+        );
+        // An idle gap between completions to crash in.
+        let gap = dry
+            .records
+            .windows(2)
+            .find(|w| w[1].start > w[0].finish + 2)
+            .expect("light load has idle gaps");
+        let down = gap[0].finish + 1;
+        let outage = (gap[1].start - down).clamp(1, 2);
+        let cfg = base
+            .clone()
+            .with_faults(FailureModel::parse(&format!("script:0@{down}+{outage}")).unwrap());
+        let out = simulate_queue(&prepared, &cfg, &hw, row);
+        assert_eq!(out.records.len(), 10, "idle crash kills nothing");
+        assert_eq!(out.summary.incidents, 1);
+        assert_eq!(out.summary.retries, 0);
+        let first_after = out
+            .records
+            .iter()
+            .filter(|r| r.start >= down + outage)
+            .min_by_key(|r| r.start)
+            .expect("requests follow the recovery");
+        assert_eq!(
+            first_after.warm.hits, 0,
+            "request {} found a warm cache on a power-cycled engine",
+            first_after.index
+        );
+        // And the fleet-wide warm-hit rate measurably dips.
+        assert!(
+            out.summary.warm_hits < dry.summary.warm_hits,
+            "drill {} !< clean {}",
+            out.summary.warm_hits,
+            dry.summary.warm_hits
+        );
+    }
+
+    #[test]
+    fn autoscale_grows_the_fleet_under_pressure_within_bounds() {
+        let (_ctx, prepared, row) = prepared_tiny(24, 6);
+        let hw = HwConfig::default();
+        // Ceiling of 4, floor of 1, sustained overload: the fleet must
+        // grow past the floor, and every record stays inside the
+        // ceiling.
+        let policy = ScalePolicy {
+            min_engines: 1,
+            provision_services: 2.0,
+            up_pressure: 1.5,
+            down_pressure: 0.25,
+            cooldown_services: 1.0,
+        };
+        let cfg = QueueConfig::new(4, SchedPolicy::LeastLoaded, 2.0, 7).with_autoscale(policy);
+        let out = simulate_queue(&prepared, &cfg, &hw, row);
+        assert_eq!(out.records.len(), 24, "no faults, nothing fails");
+        let s = &out.summary;
+        assert_eq!(s.autoscale, "auto:1@2.0");
+        assert!(
+            s.peak_engines > 1 && s.peak_engines <= 4,
+            "peak {} out of bounds",
+            s.peak_engines
+        );
+        let used: std::collections::BTreeSet<usize> =
+            out.records.iter().map(|r| r.engine).collect();
+        assert!(used.len() > 1, "overload never left engine 0");
+        // Engines join cold: the first request on every scaled-up
+        // engine reports zero warm hits.
+        for &e in &used {
+            let first = out
+                .records
+                .iter()
+                .filter(|r| r.engine == e)
+                .min_by_key(|r| r.start)
+                .unwrap();
+            assert_eq!(first.warm.hits, 0, "engine {e} started warm");
+        }
+        // Availability reflects the ramp: the fleet was not all-up for
+        // the whole makespan.
+        assert!(s.availability < 1.0, "availability {}", s.availability);
+        assert!(s.utilization <= 1.0 + 1e-9, "utilization {}", s.utilization);
+    }
+
+    #[test]
+    fn trace_record_replay_is_bit_identical_for_every_traffic_model() {
+        let (_ctx, prepared, row) = prepared_tiny(18, 4);
+        let hw = HwConfig::default();
+        for traffic in [
+            TrafficModel::Exponential,
+            TrafficModel::bursty_default(),
+            TrafficModel::diurnal_default(),
+            TrafficModel::ClosedLoop { clients: 5 },
+        ] {
+            for policy in [SchedPolicy::CacheAffinity, SchedPolicy::SloAware] {
+                let cfg = qcfg(3, policy).with_traffic(traffic);
+                let original = simulate_queue(&prepared, &cfg, &hw, row);
+                let trace = original.arrival_trace();
+                // Serialize → parse → replay: the full round trip.
+                let parsed = ArrivalTrace::parse(&trace.to_json()).expect("round-trips");
+                assert_eq!(parsed, trace);
+                let replay_cfg = cfg.clone().with_trace(parsed);
+                let replay = simulate_queue(&prepared, &replay_cfg, &hw, row);
+                assert_eq!(replay.records, original.records, "{traffic:?} {policy:?}");
+                assert_eq!(replay.summary, original.summary, "{traffic:?} {policy:?}");
+                assert_eq!(
+                    replay.summary.to_json("t"),
+                    original.summary.to_json("t"),
+                    "{traffic:?} {policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drill_replay_reproduces_the_drill_from_its_recorded_trace() {
+        let (_ctx, prepared, row) = prepared_tiny(20, 4);
+        let hw = HwConfig::default();
+        let cfg = qcfg(3, SchedPolicy::CacheAffinity)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_faults(FailureModel::mtbf_default())
+            .with_retry(RetryPolicy::new(3, 100))
+            .with_autoscale(ScalePolicy::with_floor(2));
+        let original = simulate_queue(&prepared, &cfg, &hw, row);
+        let trace = original.arrival_trace();
+        assert_eq!(trace.len(), 20, "every offered request is recorded");
+        let replay = simulate_queue(&prepared, &cfg.clone().with_trace(trace), &hw, row);
+        assert_eq!(replay, original, "drill replay diverged");
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Arrival-trace record/replay: serialize the arrival timeline of any
+//! queueing run to a deterministic JSON trace and replay it bit-exactly.
+//!
+//! Every traffic model in [`super::traffic`] generates its timeline from
+//! `(seed, index, params)`; the closed loop feeds back from completions
+//! inside the serial event loop. Either way, one run produces one
+//! concrete sequence of arrival instants — and that sequence, not the
+//! generator, is what a failure drill needs to pin: replaying the
+//! recorded timeline through a different fleet/policy/fault
+//! configuration answers "what would *this* fleet have done under *that*
+//! morning's traffic". [`ArrivalTrace`] is that recording:
+//!
+//! * captured from a [`super::queueing::QueueOutcome`] (every offered
+//!   request's arrival instant, in stream order — completed, shed and
+//!   failed alike);
+//! * rendered to JSON with the same fixed-format discipline as
+//!   `BENCH_queue.json` (so traces are diffable and committable);
+//! * parsed back without any JSON dependency (the format is our own);
+//! * replayed through [`TraceArrivals`] — an [`ArrivalModel`] whose
+//!   timeline *is* the recording — yielding a bit-identical
+//!   [`super::queueing::QueueSummary`] when the rest of the
+//!   configuration is unchanged. This is the regression seam for
+//!   failure drills and the future seam for real production logs.
+
+use std::fmt::Write as _;
+
+use crate::serving::traffic::ArrivalModel;
+
+/// A recorded arrival timeline: the traffic label it came from (kept so
+/// a replayed run renders the identical summary) and the absolute
+/// arrival instant of every offered request, in stream order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalTrace {
+    /// Label of the traffic model that generated the timeline (e.g.
+    /// `bursty`, `closed:6`). Replay reports this label, not `trace`.
+    pub traffic: String,
+    /// Absolute arrival time (cycles) per request slot, non-decreasing.
+    pub times: Vec<u64>,
+}
+
+impl ArrivalTrace {
+    /// Builds a trace, validating monotonicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are not non-decreasing (a decreasing
+    /// timeline cannot have come out of any arrival source).
+    pub fn new(traffic: impl Into<String>, times: Vec<u64>) -> Self {
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "arrival trace times must be non-decreasing"
+        );
+        ArrivalTrace {
+            traffic: traffic.into(),
+            times,
+        }
+    }
+
+    /// Offered request count.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the trace records no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Deterministic JSON rendering (fixed field order, 8 times per
+    /// line) — diffable, committable, byte-identical across thread
+    /// counts because the recorded timeline is.
+    pub fn to_json(&self) -> String {
+        let traffic = self.traffic.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = String::with_capacity(64 + 12 * self.times.len());
+        out.push_str("{\n  \"trace\": \"sgcn-arrivals\",\n  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"traffic\": \"{traffic}\",");
+        let _ = writeln!(out, "  \"requests\": {},", self.times.len());
+        out.push_str("  \"times\": [");
+        for (i, t) in self.times.iter().enumerate() {
+            if i % 8 == 0 {
+                out.push_str("\n    ");
+            } else {
+                out.push(' ');
+            }
+            let _ = write!(out, "{t}");
+            if i + 1 < self.times.len() {
+                out.push(',');
+            }
+        }
+        if self.times.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+
+    /// Parses a trace rendered by [`Self::to_json`]. `None` when the
+    /// text is not a version-1 `sgcn-arrivals` trace, the request count
+    /// disagrees with the timeline, or the times decrease. The parser
+    /// is hand-rolled against our own fixed format (no JSON dependency)
+    /// but whitespace-tolerant, so hand-edited traces load too.
+    pub fn parse(text: &str) -> Option<ArrivalTrace> {
+        if string_field(text, "trace")? != "sgcn-arrivals" {
+            return None;
+        }
+        if number_field(text, "version")? != 1 {
+            return None;
+        }
+        let traffic = string_field(text, "traffic")?;
+        let requests = number_field(text, "requests")?;
+        let times = array_field(text, "times")?;
+        if times.len() as u64 != requests {
+            return None;
+        }
+        if !times.windows(2).all(|w| w[0] <= w[1]) {
+            return None;
+        }
+        Some(ArrivalTrace { traffic, times })
+    }
+
+    /// The replay model over this trace.
+    pub fn arrivals(&self) -> TraceArrivals {
+        TraceArrivals {
+            times: self.times.clone(),
+        }
+    }
+}
+
+/// Extracts the string value of `"key": "value"`, unescaping the two
+/// escapes [`ArrivalTrace::to_json`] emits.
+fn string_field(text: &str, key: &str) -> Option<String> {
+    let rest = field_value(text, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts the numeric value of `"key": N`.
+fn number_field(text: &str, key: &str) -> Option<u64> {
+    let rest = field_value(text, key)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Extracts the `u64` array value of `"key": [...]`.
+fn array_field(text: &str, key: &str) -> Option<Vec<u64>> {
+    let rest = field_value(text, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let body = &rest[..rest.find(']')?];
+    let mut out = Vec::new();
+    for item in body.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(item.parse().ok()?);
+    }
+    Some(out)
+}
+
+/// The text immediately after `"key":` (whitespace skipped).
+fn field_value<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let rest = rest.strip_prefix(':')?;
+    Some(rest.trim_start())
+}
+
+/// An [`ArrivalModel`] that replays a recorded timeline verbatim. Gaps
+/// are the recorded first differences, so `timeline(n)` reproduces the
+/// recording exactly for `n ≤` the recorded length (and saturates at
+/// the last recorded instant beyond it — a replay never invents
+/// arrivals the recording does not contain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceArrivals {
+    times: Vec<u64>,
+}
+
+impl ArrivalModel for TraceArrivals {
+    fn gap_cycles(&self, index: usize) -> u64 {
+        match index {
+            0 => self.times.first().copied().unwrap_or(0),
+            i if i < self.times.len() => self.times[i] - self.times[i - 1],
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let trace = ArrivalTrace::new("bursty", (0..20).map(|i| i * 37).collect());
+        let json = trace.to_json();
+        let back = ArrivalTrace::parse(&json).expect("parses");
+        assert_eq!(back, trace);
+        assert_eq!(back.to_json(), json, "render is canonical");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = ArrivalTrace::new("exponential", Vec::new());
+        let back = ArrivalTrace::parse(&trace.to_json()).expect("parses");
+        assert_eq!(back, trace);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn traffic_label_escapes_survive() {
+        let trace = ArrivalTrace::new("odd \"label\" \\ here", vec![5, 9]);
+        let back = ArrivalTrace::parse(&trace.to_json()).expect("parses");
+        assert_eq!(back.traffic, "odd \"label\" \\ here");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_traces() {
+        let good = ArrivalTrace::new("exponential", vec![1, 2, 3]).to_json();
+        assert!(ArrivalTrace::parse(&good).is_some());
+        for bad in [
+            "{}",
+            "not json at all",
+            // Wrong magic.
+            &good.replace("sgcn-arrivals", "other-trace"),
+            // Wrong version.
+            &good.replace("\"version\": 1", "\"version\": 2"),
+            // Count/timeline mismatch.
+            &good.replace("\"requests\": 3", "\"requests\": 4"),
+            // Decreasing times.
+            &good.replace("1, 2, 3", "3, 2, 1"),
+            // Non-numeric entry.
+            &good.replace("1, 2, 3", "1, x, 3"),
+        ] {
+            assert_eq!(ArrivalTrace::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_times_panic() {
+        let _ = ArrivalTrace::new("exponential", vec![5, 3]);
+    }
+
+    #[test]
+    fn replay_model_reproduces_the_recording() {
+        let times = vec![4u64, 4, 9, 30, 31];
+        let trace = ArrivalTrace::new("diurnal", times.clone());
+        let model = trace.arrivals();
+        assert_eq!(model.timeline(5), times);
+        assert_eq!(model.timeline(3), times[..3]);
+        // Beyond the recording the timeline saturates (no invented
+        // arrivals).
+        assert_eq!(model.timeline(7), vec![4, 4, 9, 30, 31, 31, 31]);
+    }
+
+    #[test]
+    fn whitespace_tolerant_parse() {
+        let text = "{ \"trace\": \"sgcn-arrivals\", \"version\": 1,\n  \"traffic\" : \"closed:6\" , \"requests\": 2, \"times\": [ 7 , 11 ] }";
+        let back = ArrivalTrace::parse(text).expect("parses");
+        assert_eq!(back.traffic, "closed:6");
+        assert_eq!(back.times, vec![7, 11]);
+    }
+}

@@ -459,6 +459,15 @@ impl Dram {
         self.stats = DramStats::default();
         self.reset_time();
     }
+
+    /// Power-cycle reset: counters, clocks **and** the open-row state —
+    /// the failure-drill hook. A device coming back from a crash holds
+    /// nothing, so its first access to every bank pays the full
+    /// activation again.
+    pub fn reset_cold(&mut self) {
+        self.reset_stats();
+        self.open_rows.fill(NO_ROW);
+    }
 }
 
 #[cfg(test)]

@@ -348,6 +348,18 @@ impl MemorySystem {
         self.per_class = [TrafficStats::default(); 5];
     }
 
+    /// Power-cycle reset: statistics **and** contents — the
+    /// failure-drill hook. An engine recovering from a crash (or spun up
+    /// by an autoscaler) comes back *cold*: the cache holds no lines,
+    /// every DRAM bank's open row is closed, and all counters are zero,
+    /// so the first requests it serves honestly pay the warm-up again.
+    pub fn reset_cold(&mut self) {
+        self.cache.flush();
+        self.cache.reset_stats();
+        self.dram.reset_cold();
+        self.per_class = [TrafficStats::default(); 5];
+    }
+
     /// Reads a span bypassing the cache — streaming accesses (e.g.
     /// topology in accelerators that do not cache it). Every line counts
     /// as a miss.
@@ -737,6 +749,45 @@ mod tests {
         let warm = m.read_span(0, 256, Traffic::FeatureRead);
         assert_eq!(warm.hits, 4);
         assert_eq!(m.report().dram_total_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_cold_drops_contents_and_stats_on_both_engines() {
+        for engine in [CacheEngine::Flat, CacheEngine::List] {
+            let mut m =
+                MemorySystem::with_engine(CacheConfig::default(), DramConfig::hbm2(), engine);
+            m.read(0, 256, Traffic::FeatureRead);
+            assert!(m.peek_span(0, 256).hits > 0, "{engine:?}: lines resident");
+            m.reset_cold();
+            let r = m.report();
+            assert_eq!(r.cache.accesses(), 0, "{engine:?}");
+            assert_eq!(r.dram_total_bytes(), 0, "{engine:?}");
+            assert_eq!(m.elapsed_dram_cycles(), 0, "{engine:?}");
+            assert_eq!(m.peek_span(0, 256).hits, 0, "{engine:?}: contents gone");
+            // The re-read pays cold misses again, including row
+            // activations (open rows were closed by the power cycle).
+            let cold = m.read_span(0, 256, Traffic::FeatureRead);
+            assert_eq!(cold.hits, 0, "{engine:?}");
+            assert!(m.report().dram_total_bytes() > 0, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn reset_cold_matches_a_fresh_system_bit_for_bit() {
+        // A recovered engine must be indistinguishable from a brand-new
+        // one: replaying the same trace on both yields identical reports
+        // and clocks — the honesty guarantee failure drills rest on.
+        let mut recovered = sys();
+        recovered.read(0, 4096, Traffic::FeatureRead);
+        recovered.write_span(512, 300, Traffic::FeatureWrite);
+        recovered.reset_cold();
+        let mut fresh = sys();
+        for m in [&mut recovered, &mut fresh] {
+            m.read(128, 700, Traffic::FeatureRead);
+            m.read(128, 700, Traffic::FeatureRead);
+        }
+        assert_eq!(recovered.report(), fresh.report());
+        assert_eq!(recovered.elapsed_dram_cycles(), fresh.elapsed_dram_cycles());
     }
 
     #[test]

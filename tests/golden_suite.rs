@@ -215,6 +215,60 @@ fn check_queue_slo_summary_golden() {
     assert_matches_golden("queue_slo_quick.json", &json);
 }
 
+/// The failure-drill queueing summary (MTBF crashes, bounded retries,
+/// elastic autoscaling on bursty traffic) must match its snapshot —
+/// pinning the seed-pure fault schedule, the crash/redrive path, cold
+/// recovery and the scaling policy in one trace. The recorded arrival
+/// trace must also replay to the identical summary, pinning the
+/// record/replay seam alongside. Called from the single env-touching
+/// test below for the same reason as [`check_serve_summary_golden`].
+fn check_queue_drill_summary_golden() {
+    use sgcn::accel::AccelModel;
+    use sgcn::serving::queueing::{
+        feature_row_bytes, prepare, simulate_queue, FailureModel, QueueConfig, RetryPolicy,
+        ScalePolicy, SchedPolicy, TrafficModel,
+    };
+    use sgcn::serving::{ServingConfig, ServingContext};
+
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts: sgcn_graph::sampling::Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.hotspot_stream(60, 10);
+    let prepared = prepare(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw());
+    let qcfg = QueueConfig::new(4, SchedPolicy::CacheAffinity, 0.9, cfg.seed)
+        .with_traffic(TrafficModel::bursty_default())
+        .with_faults(FailureModel::mtbf_default())
+        .with_retry(RetryPolicy::new(3, 0))
+        .with_autoscale(ScalePolicy::with_floor(2));
+    let out = simulate_queue(&prepared, &qcfg, &cfg.hw(), feature_row_bytes(&ctx));
+    assert!(
+        out.summary.incidents > 0,
+        "the pinned drill must crash at least one engine"
+    );
+    assert!(
+        out.summary.availability < 1.0,
+        "the pinned drill must dent availability (got {})",
+        out.summary.availability
+    );
+    let trace = out.arrival_trace();
+    let replay = simulate_queue(
+        &prepared,
+        &qcfg.clone().with_trace(trace),
+        &cfg.hw(),
+        feature_row_bytes(&ctx),
+    );
+    assert_eq!(replay.summary, out.summary, "drill trace replay diverged");
+    let json = out
+        .summary
+        .to_json("PM fanout 10x5 SGCN x4 cache-affinity bursty drill");
+    assert_matches_golden("queue_drill_quick.json", &json);
+}
+
 /// The full rendered quick suite must match the snapshot on both the
 /// default (fast) path and the `SGCN_NAIVE=1` seed-replay path, and the
 /// serving and queueing summaries must match their snapshots. Everything
@@ -232,6 +286,7 @@ fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
     check_serve_summary_golden();
     check_queue_summary_golden();
     check_queue_slo_summary_golden();
+    check_queue_drill_summary_golden();
 
     std::env::set_var("SGCN_NAIVE", "1");
     let naive = sgcn_bench::run_suite(&cfg, &datasets, true);

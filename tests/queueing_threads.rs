@@ -9,8 +9,8 @@
 use sgcn::accel::AccelModel;
 use sgcn::experiments::ExperimentConfig;
 use sgcn::serving::queueing::{
-    feature_row_bytes, prepare, simulate_queue, FleetSpec, QueueConfig, SchedPolicy, SloConfig,
-    TrafficModel,
+    feature_row_bytes, prepare, simulate_queue, FailureModel, FleetSpec, QueueConfig, RetryPolicy,
+    ScalePolicy, SchedPolicy, SloConfig, TrafficModel,
 };
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn::HwConfig;
@@ -72,6 +72,22 @@ fn queue_probe() -> Vec<String> {
                 .to_json(name),
         );
     }
+    // Failure drill: MTBF crashes, bounded retries and elastic
+    // autoscaling on bursty traffic — plus the recorded arrival trace
+    // replayed through the same fleet, which must reproduce the drill
+    // byte for byte.
+    let drill_cfg = QueueConfig::new(3, SchedPolicy::CacheAffinity, 0.9, 7)
+        .with_traffic(TrafficModel::bursty_default())
+        .with_faults(FailureModel::mtbf_default())
+        .with_retry(RetryPolicy::new(3, mean / 4))
+        .with_autoscale(ScalePolicy::with_floor(2));
+    let drill = simulate_queue(&prepared, &drill_cfg, &hw, row);
+    let trace = drill.arrival_trace();
+    out.push(trace.to_json());
+    out.push(drill.summary.to_json("drill"));
+    let replay = simulate_queue(&prepared, &drill_cfg.with_trace(trace), &hw, row);
+    assert_eq!(replay.summary, drill.summary, "drill replay diverged");
+    out.push(replay.summary.to_json("drill-replay"));
     out
 }
 
