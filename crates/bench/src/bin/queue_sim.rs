@@ -29,6 +29,12 @@
 //! * `SGCN_FLEET` — `uniform` / `steal` / `mixed` / `mixed-steal` / a
 //!   comma-separated scale list, optionally `+steal` (default
 //!   `uniform`),
+//! * `SGCN_LINEUP` — heterogeneous hardware lineup: `uniform` / `eco` /
+//!   `mixed`, optionally `+steal`-suffixed, giving every engine a real
+//!   per-class accelerator platform (overrides `SGCN_FLEET`); or
+//!   `sweep` to run the lineup × routing-policy capacity planner and
+//!   write `BENCH_lineup.json` (`SGCN_LINEUP_OUT`) instead of a single
+//!   run (default: unset — legacy scalar fleet),
 //! * `SGCN_HOTSPOT` — hot-seed pool size, 0 = uniform traffic
 //!   (default `requests / 6`),
 //! * `SGCN_FAULTS` — failure drill: `none` / `mtbf[:M,R[,K]]` /
@@ -45,8 +51,9 @@
 
 use sgcn::accel::AccelModel;
 use sgcn::serving::queueing::{
-    run_queue, ArrivalTrace, FailureModel, FleetSpec, QueueConfig, RetryPolicy, ScalePolicy,
-    SchedPolicy, SloConfig, TrafficModel,
+    feature_row_bytes, prepare_lineup, run_queue, simulate_queue, ArrivalTrace, EngineLineup,
+    FailureModel, FleetSpec, QueueConfig, QueueSummary, RetryPolicy, ScalePolicy, SchedPolicy,
+    SloConfig, TrafficModel,
 };
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn_bench::{banner, experiment_config};
@@ -58,6 +65,121 @@ fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The lineup × routing-policy capacity planner behind
+/// `BENCH_lineup.json`: uniform vs mixed hardware lineups × {least-
+/// loaded, cache-affinity, cost-aware} under bursty traffic, one
+/// per-class preparation shared by every cell, plus a `cheapest_p99`
+/// verdict — the cell minimizing p99 × cost units (ties to the cheaper
+/// lineup, then sweep order). Every byte of the JSON is a pure function
+/// of `(stream, knobs)`.
+fn lineup_sweep(requests: usize, engines: usize, load: f64, hotspot: usize) {
+    let cfg = experiment_config();
+    let hw = cfg.hw();
+    let fanouts = Fanouts::new(vec![10, 5]);
+    let label = format!(
+        "{} fanout {} SGCN x{engines} lineup sweep bursty load {load:.2}",
+        DatasetId::PubMed.abbrev(),
+        fanouts.label()
+    );
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts,
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = if hotspot == 0 {
+        ctx.request_stream(requests)
+    } else {
+        ctx.hotspot_stream(requests, hotspot)
+    };
+    let lineups = [
+        EngineLineup::uniform(engines, hw),
+        EngineLineup::mixed(engines, hw),
+    ];
+    let policies = [
+        SchedPolicy::LeastLoaded,
+        SchedPolicy::CacheAffinity,
+        SchedPolicy::CostAware,
+    ];
+    let t0 = std::time::Instant::now();
+    // Both lineups share the same two hardware classes, so one
+    // per-class preparation (the only parallel stage) serves all cells.
+    let prepared = prepare_lineup(&ctx, &stream, &AccelModel::sgcn(), &lineups[1]);
+    let row_bytes = feature_row_bytes(&ctx);
+    let mut cells: Vec<(String, &'static str, QueueSummary)> = Vec::new();
+    for lineup in &lineups {
+        for policy in policies {
+            let qcfg = QueueConfig::new(engines, policy, load, cfg.seed)
+                .with_traffic(TrafficModel::bursty_default())
+                .with_lineup(lineup.clone());
+            let s = simulate_queue(&prepared, &qcfg, &hw, row_bytes).summary;
+            println!(
+                "  {:>16} {:>14}: p50e {:>9} / p99e {:>9} cycles, warm {:>5.1}%, {:.2} cost units",
+                lineup.label(),
+                policy.label(),
+                s.p50_e2e_cycles,
+                s.p99_e2e_cycles,
+                s.warm_hit_rate * 100.0,
+                s.cost_units
+            );
+            cells.push((lineup.label(), policy.label(), s));
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let best = cells
+        .iter()
+        .min_by(|a, b| {
+            let ka = a.2.p99_e2e_cycles as f64 * a.2.cost_units;
+            let kb = b.2.p99_e2e_cycles as f64 * b.2.cost_units;
+            ka.total_cmp(&kb)
+                .then(a.2.cost_units.total_cmp(&b.2.cost_units))
+        })
+        .expect("the sweep has cells");
+    println!(
+        "cheapest p99:    {} with {} — p99 {} cycles at {:.2} cost units",
+        best.0, best.1, best.2.p99_e2e_cycles, best.2.cost_units
+    );
+    println!(
+        "host replay:     {wall:.2}s wall ({} cells on {} thread(s))",
+        cells.len(),
+        sgcn_par::threads()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"engines\": {engines},\n"));
+    json.push_str(&format!("  \"offered_load\": {load:.6},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, (lineup, policy, s)) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"lineup\": \"{lineup}\", \"policy\": \"{policy}\", \"cost_units\": {:.3}, \
+             \"completed\": {}, \"p50_e2e_cycles\": {}, \"p99_e2e_cycles\": {}, \
+             \"makespan_cycles\": {}, \"utilization\": {:.6}, \"warm_hit_rate\": {:.6}}}{}\n",
+            s.cost_units,
+            s.completed,
+            s.p50_e2e_cycles,
+            s.p99_e2e_cycles,
+            s.makespan_cycles,
+            s.utilization,
+            s.warm_hit_rate,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"cheapest_p99\": {{\"lineup\": \"{}\", \"policy\": \"{}\", \"cost_units\": {:.3}, \
+         \"p99_e2e_cycles\": {}}}\n",
+        best.0, best.1, best.2.cost_units, best.2.p99_e2e_cycles
+    ));
+    json.push_str("}\n");
+    let path = std::env::var("SGCN_LINEUP_OUT").unwrap_or_else(|_| "BENCH_lineup.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_lineup.json");
+    println!("wrote {path}");
 }
 
 fn main() {
@@ -83,6 +205,15 @@ fn main() {
         })
         .unwrap_or_else(|| FleetSpec::uniform(engines));
     let hotspot: usize = env_parse("SGCN_HOTSPOT", (requests / 6).max(1));
+    let lineup_spec = std::env::var("SGCN_LINEUP").ok();
+    if lineup_spec.as_deref().map(str::trim) == Some("sweep") {
+        lineup_sweep(requests, engines, load, hotspot);
+        return;
+    }
+    let lineup = lineup_spec.map(|v| {
+        EngineLineup::parse(&v, engines, cfg.hw())
+            .unwrap_or_else(|| panic!("bad SGCN_LINEUP {v:?} for {engines} engines"))
+    });
     let faults = std::env::var("SGCN_FAULTS")
         .ok()
         .map(|v| FailureModel::parse(&v).unwrap_or_else(|| panic!("bad SGCN_FAULTS {v:?}")))
@@ -107,7 +238,9 @@ fn main() {
         fanouts.label(),
         policy.label(),
         traffic.label(),
-        fleet.label()
+        lineup
+            .as_ref()
+            .map_or_else(|| fleet.label(), EngineLineup::label)
     );
     if !faults.is_none() || autoscale.is_some() {
         label = format!(
@@ -137,6 +270,9 @@ fn main() {
         .with_fleet(fleet)
         .with_faults(faults)
         .with_retry(retry);
+    if let Some(lineup) = lineup {
+        qcfg = qcfg.with_lineup(lineup);
+    }
     if slo_cycles > 0 {
         qcfg = qcfg.with_slo(SloConfig::shedding(slo_cycles));
     }

@@ -188,8 +188,10 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     // policy × offered load, engine-count scaling, traffic model × policy
     // under an SLO deadline (bursty/diurnal/closed-loop arrivals with
     // load shedding), the heterogeneous-fleet / work-stealing lineup,
-    // and the failure drills (fault intensity × policy × retry budget
-    // with elastic autoscaling).
+    // the hardware lineup × routing-policy capacity planner (per-engine
+    // accelerator models with cost-model dispatch), and the failure
+    // drills (fault intensity × policy × retry budget with elastic
+    // autoscaling).
     let queue_requests = if quick { 36 } else { 192 };
     let grids = exp::queueing_grids(
         cfg,
@@ -204,6 +206,7 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     writeln!(out, "{}", grids.engine).unwrap();
     writeln!(out, "{}", grids.traffic).unwrap();
     writeln!(out, "{}", grids.fleet).unwrap();
+    writeln!(out, "{}", grids.lineup).unwrap();
     writeln!(out, "{}", grids.failure).unwrap();
     out
 }

@@ -1208,7 +1208,7 @@ type QueueingSetup = (
     Vec<crate::serving::queueing::PreparedRequest>,
 );
 
-/// The five queueing grids of the full suite, rendered off one shared
+/// The six queueing grids of the full suite, rendered off one shared
 /// preparation.
 pub struct QueueingGrids {
     /// Policy × offered-load sweep.
@@ -1219,15 +1219,19 @@ pub struct QueueingGrids {
     pub traffic: Grid,
     /// Heterogeneous-fleet / work-stealing sweep.
     pub fleet: Grid,
+    /// Hardware lineup × routing-policy sweep (per-engine accelerator
+    /// models with cost-model dispatch).
+    pub lineup: Grid,
     /// Failure-drill sweep: fault intensity × policy × retry budget.
     pub failure: Grid,
 }
 
-/// Renders all five queueing grids (policy × offered-load sweep,
+/// Renders all six queueing grids (policy × offered-load sweep,
 /// engine-count sweep, traffic-mix × policy SLO sweep, fleet sweep,
-/// failure-drill sweep) off one shared preparation — what the full
-/// suite calls, since the expensive half (sampling + cold simulation of
-/// the stream) is identical for every sweep cell of every grid.
+/// hardware-lineup sweep, failure-drill sweep) off one shared
+/// preparation — what the full suite calls, since the expensive half
+/// (sampling + cold simulation of the stream) is identical for every
+/// sweep cell of every grid.
 #[allow(clippy::too_many_arguments)]
 pub fn queueing_grids(
     cfg: &ExperimentConfig,
@@ -1244,6 +1248,7 @@ pub fn queueing_grids(
         engine: queueing_engine_sweep_prepared(cfg, id, engine_counts, load, requests, &setup),
         traffic: queueing_traffic_sweep_prepared(cfg, id, engines, load, requests, &setup),
         fleet: queueing_fleet_sweep_prepared(cfg, id, engines, load, requests, &setup),
+        lineup: queueing_lineup_sweep_prepared(cfg, id, engines, load, requests, &setup),
         failure: queueing_failure_sweep_prepared(cfg, id, engines, load, requests, &setup),
     }
 }
@@ -1537,6 +1542,100 @@ fn queueing_fleet_sweep_prepared(
         grid.set(&row, "mksp(kc)", s.makespan_cycles as f64 / 1e3);
         grid.set(&row, "util%", s.utilization * 100.0);
         grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+    }
+    grid
+}
+
+/// Heterogeneous-lineup capacity planning (beyond the paper): hardware
+/// lineup × routing policy under bursty traffic. Each engine runs its
+/// own accelerator platform (`ref` = the base hardware, `eco` = half
+/// the engine arrays on HBM1 at 0.45 cost units), with per-class cold
+/// reports and per-class warm-savings pricing; the `cost-aware` policy
+/// routes on a [`crate::serving::queueing::CostModel`] fitted from
+/// those reports. Rows are `lineup / policy`; columns report the p50 /
+/// p99 end-to-end latency (kilocycles), makespan (kilocycles), warm-hit
+/// rate (%), and the lineup's price in cost units — the "what lineup
+/// serves this traffic at the cheapest p99?" planning view.
+pub fn queueing_lineup_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+) -> Grid {
+    queueing_lineup_sweep_prepared(
+        cfg,
+        id,
+        engines,
+        load,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_lineup_sweep`] off a shared setup. Lineup cells need
+/// per-class cold reports, so the stream is re-prepared once with
+/// [`crate::serving::queueing::prepare_lineup`] (the shared setup's
+/// single-platform preparation does not carry them); the serving
+/// context and hotspot stream are reused.
+fn queueing_lineup_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{
+        feature_row_bytes, prepare_lineup, simulate_queue, EngineLineup, QueueConfig, SchedPolicy,
+        TrafficModel,
+    };
+
+    let cols: Vec<String> = ["p50e(kc)", "p99e(kc)", "mksp(kc)", "warm%", "cost"]
+        .map(String::from)
+        .to_vec();
+    let hw = cfg.hw();
+    let lineups = [
+        EngineLineup::uniform(engines, hw),
+        EngineLineup::mixed(engines, hw),
+    ];
+    let policies = [
+        SchedPolicy::LeastLoaded,
+        SchedPolicy::CacheAffinity,
+        SchedPolicy::CostAware,
+    ];
+    let mut rows = Vec::new();
+    for lineup in &lineups {
+        for policy in policies {
+            rows.push(format!("{} / {}", lineup.label(), policy.label()));
+        }
+    }
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: hardware lineup × routing policy on {} (bursty, load {load:.2}, {requests} requests, {engines} engines)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    // Both lineups share the same two hardware classes, so one
+    // per-class preparation serves every cell.
+    let stream = setup.0.hotspot_stream(requests, (requests / 6).max(2));
+    let prepared = prepare_lineup(&setup.0, &stream, &AccelModel::sgcn(), &lineups[1]);
+    let row_bytes = feature_row_bytes(&setup.0);
+    for lineup in &lineups {
+        for policy in policies {
+            let row = format!("{} / {}", lineup.label(), policy.label());
+            let qcfg = QueueConfig::new(engines, policy, load, cfg.seed)
+                .with_traffic(TrafficModel::bursty_default())
+                .with_lineup(lineup.clone());
+            let s = simulate_queue(&prepared, &qcfg, &hw, row_bytes).summary;
+            grid.set(&row, "p50e(kc)", s.p50_e2e_cycles as f64 / 1e3);
+            grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
+            grid.set(&row, "mksp(kc)", s.makespan_cycles as f64 / 1e3);
+            grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+            grid.set(&row, "cost", s.cost_units);
+        }
     }
     grid
 }

@@ -64,22 +64,45 @@
 //!
 //! # The two execution strategies
 //!
-//! FIFO-ordered service with no stealing lets the loop account each
-//! request the moment it is assigned (its position in its engine's
-//! schedule is already final) — the *eager* loop, byte-identical to the
-//! original PR 3 implementation on the original configurations. EDF
-//! reordering (`slo-aware`) and work stealing make a queued request's
-//! engine/order depend on future events, so those configurations run a
-//! *lazy* discrete-event loop that touches an engine's warm cache only
-//! when service actually starts. The two strategies coincide exactly
-//! where the engine choice is load-projection independent —
-//! `fifo-rr` without shedding, any traffic model, any fleet scales
-//! (unit-tested below). Load-sensitive policies (`least-loaded`,
-//! `cache-affinity`) may route differently under backlog in the lazy
-//! loop, whose projections price queued work at the cold scaled
-//! estimate rather than the warm-adjusted service the eager loop
-//! already knows — which is why those policies without stealing always
-//! take the eager loop, keeping the committed BENCH numbers exact.
+//! In-order service with no stealing lets the loop account each request
+//! the moment it is assigned (its position in its engine's schedule is
+//! already final) — the *eager* loop, byte-identical to the original
+//! PR 3 implementation on the original configurations. EDF reordering
+//! (`slo-aware`), work stealing and failure drills make a queued
+//! request's engine/order depend on future events, so those
+//! configurations run a *lazy* discrete-event loop that touches an
+//! engine's warm cache only when service actually starts. On
+//! non-reordering, non-stealing, drill-free configurations the lazy
+//! loop runs in *exact-estimate* mode: assignment order equals service
+//! order, so warm-cache accounting happens at assignment (exactly as
+//! the eager loop does) and `queued_est` carries the warm-adjusted
+//! service. The two strategies therefore coincide byte-for-byte for
+//! **every** non-reordering policy (`fifo-rr`, `least-loaded`,
+//! `cache-affinity`, `cost-aware`), any traffic model, any fleet or
+//! lineup (unit-tested below). Reordering/stealing/drill runs keep
+//! pricing queued work at the cold scaled estimate, since their service
+//! order is not known at assignment time.
+//!
+//! # Heterogeneous lineups and cost-model dispatch
+//!
+//! Two fleet abstractions coexist:
+//!
+//! * [`FleetSpec`] — the legacy scalar path: one reference accelerator
+//!   whose service times are scaled per engine.
+//! * [`EngineLineup`] — real per-engine hardware: each engine is
+//!   assigned an [`EngineClass`] carrying its own [`HwConfig`] (cache
+//!   geometry, DRAM generation, engine counts) and a relative
+//!   cost-units price. [`prepare_lineup`] simulates every request's
+//!   cold service **per class** in the parallel phase, and warm-savings
+//!   pricing uses each class's own `effective_bw`/`line_bytes`.
+//!
+//! The `cost-aware` policy routes on a [`CostModel`]: per-class linear
+//!   predictors of service cycles from subgraph stats
+//!   ([`RequestStats`]: vertices, edges, sparsity, feature bytes),
+//!   fitted deterministically from the prepared cold reports. The
+//!   dispatcher picks the engine minimizing predicted completion
+//!   (projected wait + predicted service), falling back to
+//!   least-loaded order (then engine id) on ties.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -125,15 +148,24 @@ pub enum SchedPolicy {
     /// most. Without an [`SloConfig`] every deadline saturates and the
     /// order degenerates to FIFO.
     SloAware,
+    /// Cost-model-driven: predict the request's service time on every
+    /// engine's hardware class ([`CostModel`], fitted from the prepared
+    /// cold reports) and route to the engine minimizing predicted
+    /// completion time (projected wait + predicted service), falling
+    /// back to least-loaded order and then the lowest engine id on
+    /// ties. On a legacy scalar fleet the prediction is the exact cold
+    /// scaled estimate.
+    CostAware,
 }
 
 impl SchedPolicy {
     /// All policies in report order.
-    pub const ALL: [SchedPolicy; 4] = [
+    pub const ALL: [SchedPolicy; 5] = [
         SchedPolicy::FifoRoundRobin,
         SchedPolicy::LeastLoaded,
         SchedPolicy::CacheAffinity,
         SchedPolicy::SloAware,
+        SchedPolicy::CostAware,
     ];
 
     /// Display label (stable — appears in golden snapshots).
@@ -143,6 +175,7 @@ impl SchedPolicy {
             SchedPolicy::LeastLoaded => "least-loaded",
             SchedPolicy::CacheAffinity => "cache-affinity",
             SchedPolicy::SloAware => "slo-aware",
+            SchedPolicy::CostAware => "cost-aware",
         }
     }
 
@@ -153,6 +186,7 @@ impl SchedPolicy {
             "least" | "least-loaded" | "ll" => Some(SchedPolicy::LeastLoaded),
             "affinity" | "cache-affinity" | "warm" => Some(SchedPolicy::CacheAffinity),
             "slo" | "slo-aware" | "edf" | "deadline" => Some(SchedPolicy::SloAware),
+            "cost" | "cost-aware" | "cm" => Some(SchedPolicy::CostAware),
             _ => None,
         }
     }
@@ -283,6 +317,362 @@ impl FleetSpec {
     }
 }
 
+/// One hardware class of a heterogeneous lineup: a named accelerator
+/// configuration plus its relative price in cost units (reference
+/// class = 1.0). Service times, warm-savings bandwidth and cache
+/// geometry all come from `hw`, not from a scalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineClass {
+    /// Stable display name (appears in lineup labels).
+    pub name: &'static str,
+    /// The class's accelerator platform.
+    pub hw: HwConfig,
+    /// Relative cost of keeping one engine of this class in the fleet.
+    pub cost_units: f64,
+}
+
+/// A heterogeneous engine lineup: the hardware classes in play and each
+/// engine's class assignment. The real-hardware successor of the scalar
+/// [`FleetSpec`] — every engine simulates on its own [`HwConfig`], with
+/// per-class cold [`SimReport`]s from [`prepare_lineup`] and per-class
+/// warm-savings pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineLineup {
+    /// The hardware classes (class 0 is the reference class whose cold
+    /// reports calibrate arrivals).
+    pub classes: Vec<EngineClass>,
+    /// Per-engine class index (`assignment.len()` engines).
+    pub assignment: Vec<usize>,
+    /// Whether an idle engine steals queued work from the most
+    /// backlogged peer.
+    pub work_stealing: bool,
+}
+
+impl EngineLineup {
+    /// The two standard classes derived from a base platform: `ref`
+    /// (the base hardware, 1.0 cost units) and `eco` (half the engine
+    /// arrays on HBM1, 0.45 cost units) — a cheaper, memory- and
+    /// compute-lean class.
+    pub fn standard_classes(base: HwConfig) -> Vec<EngineClass> {
+        let eco = base
+            .with_engines((base.aggregation_engines / 2).max(1))
+            .with_hbm(sgcn_mem::HbmGeneration::Hbm1);
+        vec![
+            EngineClass {
+                name: "ref",
+                hw: base,
+                cost_units: 1.0,
+            },
+            EngineClass {
+                name: "eco",
+                hw: eco,
+                cost_units: 0.45,
+            },
+        ]
+    }
+
+    fn standard(engines: usize, base: HwConfig, class_of: impl Fn(usize) -> usize) -> Self {
+        assert!(engines > 0, "a lineup needs at least one engine");
+        EngineLineup {
+            classes: Self::standard_classes(base),
+            assignment: (0..engines).map(class_of).collect(),
+            work_stealing: false,
+        }
+    }
+
+    /// Every engine on the reference class.
+    pub fn uniform(engines: usize, base: HwConfig) -> Self {
+        Self::standard(engines, base, |_| 0)
+    }
+
+    /// Every engine on the eco class.
+    pub fn eco(engines: usize, base: HwConfig) -> Self {
+        Self::standard(engines, base, |_| 1)
+    }
+
+    /// Alternating reference/eco engines (even = ref, odd = eco).
+    pub fn mixed(engines: usize, base: HwConfig) -> Self {
+        Self::standard(engines, base, |e| e % 2)
+    }
+
+    /// Enables cross-engine work stealing.
+    pub fn with_work_stealing(mut self) -> Self {
+        self.work_stealing = true;
+        self
+    }
+
+    /// Engine count.
+    pub fn engines(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Total fleet price in cost units (sum of assigned class costs).
+    pub fn cost_units(&self) -> f64 {
+        self.assignment
+            .iter()
+            .map(|&k| self.classes[k].cost_units)
+            .sum()
+    }
+
+    /// Display label (stable — appears in golden snapshots):
+    /// `lineup-uniform` / `lineup-eco` / `lineup-mixed` /
+    /// `lineup-custom`, with a `+steal` suffix when stealing is on.
+    pub fn label(&self) -> String {
+        let all = |k: usize| self.assignment.iter().all(|&a| a == k);
+        let base = if all(0) {
+            "lineup-uniform"
+        } else if all(1) {
+            "lineup-eco"
+        } else if self.assignment.iter().enumerate().all(|(e, &a)| a == e % 2) {
+            "lineup-mixed"
+        } else {
+            "lineup-custom"
+        };
+        if self.work_stealing {
+            format!("{base}+steal")
+        } else {
+            base.to_string()
+        }
+    }
+
+    /// Parses an `SGCN_LINEUP`-style spec for an `engines`-wide fleet on
+    /// a base platform: `uniform`, `eco`, `mixed`, optionally
+    /// `+steal`-suffixed. `None` for unknown names.
+    pub fn parse(spec: &str, engines: usize, base: HwConfig) -> Option<EngineLineup> {
+        let spec = spec.trim().to_ascii_lowercase();
+        let (name, steal) = match spec.strip_suffix("+steal") {
+            Some(rest) => (rest.trim_end_matches('-'), true),
+            None => (spec.as_str(), false),
+        };
+        let lineup = match name {
+            "uniform" | "ref" => EngineLineup::uniform(engines, base),
+            "eco" => EngineLineup::eco(engines, base),
+            "mixed" => EngineLineup::mixed(engines, base),
+            _ => return None,
+        };
+        Some(if steal {
+            lineup.with_work_stealing()
+        } else {
+            lineup
+        })
+    }
+}
+
+/// Subgraph statistics of one prepared request — the feature vector the
+/// [`CostModel`] predicts service time from.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RequestStats {
+    /// Sampled subgraph vertex count.
+    pub vertices: u64,
+    /// Sampled subgraph edge count.
+    pub edges: u64,
+    /// Mean intermediate-value sparsity of the request's trace.
+    pub sparsity: f64,
+    /// Input-feature bytes the request streams (vertices × feature row).
+    pub feature_bytes: u64,
+}
+
+/// The regression features of one request: intercept, vertices, edges,
+/// sparsity, feature bytes.
+fn cost_features(stats: &RequestStats) -> [f64; 5] {
+    [
+        1.0,
+        stats.vertices as f64,
+        stats.edges as f64,
+        stats.sparsity,
+        stats.feature_bytes as f64,
+    ]
+}
+
+/// One hardware class's fitted predictor.
+#[derive(Debug, Clone, PartialEq)]
+enum ClassFit {
+    /// Ridge-regularized least squares over column-normalized
+    /// [`cost_features`].
+    Linear { scale: [f64; 5], w: [f64; 5] },
+    /// Degenerate fit (empty stream or singular system): predict the
+    /// class's mean cold service.
+    Mean(f64),
+}
+
+/// Per-class service-time predictors fitted deterministically from a
+/// prepared stream's cold reports: an exact lookup over the training
+/// stats (requests whose stats were seen during fitting predict their
+/// measured per-class cold cycles) backed by a ridge-regularized linear
+/// regression for unseen stats. Predictions are pure in
+/// `(RequestStats, class)` — fitting is a serial fold in stream order
+/// with no floating-point reassociation, so the same stream always
+/// yields the same model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    fits: Vec<ClassFit>,
+    /// Exact per-class cold cycles keyed by the training stats (mean
+    /// over colliding stats, accumulated in stream order). Routing on
+    /// the serving stream itself — the common case, since the model is
+    /// fitted from the very stream it prices — hits this table and
+    /// pays no regression error.
+    memo: std::collections::BTreeMap<[u64; 4], Vec<u64>>,
+}
+
+/// The memo key of a stats vector: its exact bit pattern.
+fn stats_key(stats: &RequestStats) -> [u64; 4] {
+    [
+        stats.vertices,
+        stats.edges,
+        stats.sparsity.to_bits(),
+        stats.feature_bytes,
+    ]
+}
+
+impl CostModel {
+    /// Fits one predictor per hardware class from the prepared cold
+    /// reports (`class_reports[k]` when present, the reference report
+    /// otherwise). Ridge regularization keeps the normal equations
+    /// solvable despite collinear features (feature bytes are an exact
+    /// multiple of vertices); a singular system falls back to the class
+    /// mean.
+    pub fn fit(prepared: &[PreparedRequest], classes: usize) -> CostModel {
+        let classes = classes.max(1);
+        let fits = (0..classes)
+            .map(|k| {
+                let targets: Vec<f64> = prepared
+                    .iter()
+                    .map(|p| p.class_reports.get(k).unwrap_or(&p.report).cycles as f64)
+                    .collect();
+                Self::fit_class(prepared, &targets)
+            })
+            .collect();
+        // Exact training-point lookup: per key, the mean of every
+        // colliding request's cold cycles (sum and count accumulate in
+        // stream order — deterministic).
+        let mut acc: std::collections::BTreeMap<[u64; 4], (Vec<u64>, u64)> =
+            std::collections::BTreeMap::new();
+        for p in prepared {
+            let e = acc
+                .entry(stats_key(&p.stats))
+                .or_insert_with(|| (vec![0; classes], 0));
+            for (sum, k) in e.0.iter_mut().zip(0..classes) {
+                *sum += p.class_reports.get(k).unwrap_or(&p.report).cycles;
+            }
+            e.1 += 1;
+        }
+        let memo = acc
+            .into_iter()
+            .map(|(key, (sums, n))| (key, sums.iter().map(|s| (s / n).max(1)).collect()))
+            .collect();
+        CostModel { fits, memo }
+    }
+
+    fn fit_class(prepared: &[PreparedRequest], targets: &[f64]) -> ClassFit {
+        if prepared.is_empty() {
+            return ClassFit::Mean(1.0);
+        }
+        let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+        // Column normalization keeps the ridge penalty meaningful across
+        // features spanning ten orders of magnitude.
+        let mut scale = [1.0f64; 5];
+        for p in prepared {
+            let x = cost_features(&p.stats);
+            for (s, v) in scale.iter_mut().zip(x) {
+                if v.abs() > *s {
+                    *s = v.abs();
+                }
+            }
+        }
+        let mut a = [[0.0f64; 5]; 5];
+        let mut b = [0.0f64; 5];
+        for (p, &t) in prepared.iter().zip(targets) {
+            let mut x = cost_features(&p.stats);
+            for (v, s) in x.iter_mut().zip(scale) {
+                *v /= s;
+            }
+            for i in 0..5 {
+                for j in 0..5 {
+                    a[i][j] += x[i] * x[j];
+                }
+                b[i] += x[i] * t;
+            }
+        }
+        let ridge = 1e-6 * (a[0][0] + a[1][1] + a[2][2] + a[3][3] + a[4][4]).max(1e-12) / 5.0;
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+        match solve5(a, b) {
+            Some(w) if w.iter().all(|v| v.is_finite()) => ClassFit::Linear { scale, w },
+            _ => ClassFit::Mean(mean),
+        }
+    }
+
+    /// Number of fitted classes.
+    pub fn classes(&self) -> usize {
+        self.fits.len()
+    }
+
+    /// Predicted cold service cycles of a request on the given class
+    /// (clamped to ≥ 1; out-of-range classes use class 0): the exact
+    /// training-point lookup when the stats were seen during fitting,
+    /// the regression otherwise.
+    pub fn predict_cycles(&self, class: usize, stats: &RequestStats) -> u64 {
+        if let Some(cycles) = self.memo.get(&stats_key(stats)) {
+            return cycles[class.min(cycles.len() - 1)];
+        }
+        let fit = self.fits.get(class).unwrap_or(&self.fits[0]);
+        let y = match fit {
+            ClassFit::Linear { scale, w } => {
+                let x = cost_features(stats);
+                x.iter()
+                    .zip(scale)
+                    .zip(w)
+                    .map(|((v, s), w)| v / s * w)
+                    .sum::<f64>()
+            }
+            ClassFit::Mean(m) => *m,
+        };
+        if y.is_finite() {
+            y.round().max(1.0) as u64
+        } else {
+            1
+        }
+    }
+}
+
+/// Solves a 5×5 linear system by Gaussian elimination with partial
+/// pivoting (deterministic tie-breaking: the first maximal pivot wins).
+/// `None` when the system is numerically singular.
+fn solve5(mut a: [[f64; 5]; 5], mut b: [f64; 5]) -> Option<[f64; 5]> {
+    for col in 0..5 {
+        let pivot = (col..5).reduce(|best, r| {
+            if a[r][col].abs() > a[best][col].abs() {
+                r
+            } else {
+                best
+            }
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let prow = a[col];
+        for r in col + 1..5 {
+            let f = a[r][col] / prow[col];
+            for (v, p) in a[r].iter_mut().zip(prow).skip(col) {
+                *v -= f * p;
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut w = [0.0f64; 5];
+    for col in (0..5).rev() {
+        let mut acc = b[col];
+        for c in col + 1..5 {
+            acc -= a[col][c] * w[c];
+        }
+        w[col] = acc / a[col][col];
+    }
+    Some(w)
+}
+
 /// Knobs of one queueing run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueueConfig {
@@ -310,6 +700,11 @@ pub struct QueueConfig {
     pub slo: Option<SloConfig>,
     /// Engine lineup (default: a uniform fleet, no stealing).
     pub fleet: FleetSpec,
+    /// Heterogeneous hardware lineup. When set it supersedes `fleet`:
+    /// every engine runs its assigned class's [`HwConfig`] (cache
+    /// geometry, DRAM bandwidth, cold service) and the prepared stream
+    /// must come from [`prepare_lineup`] with the same classes.
+    pub lineup: Option<EngineLineup>,
     /// Failure drill: how engines crash and recover (default: never).
     pub faults: FailureModel,
     /// Redrive budget for fault-killed requests (default: 3 attempts,
@@ -348,6 +743,7 @@ impl QueueConfig {
             traffic: TrafficModel::Exponential,
             slo: None,
             fleet: FleetSpec::uniform(engines),
+            lineup: None,
             faults: FailureModel::None,
             retry: RetryPolicy::default(),
             autoscale: None,
@@ -380,6 +776,37 @@ impl QueueConfig {
         );
         self.fleet = fleet;
         self
+    }
+
+    /// Installs a heterogeneous hardware lineup (supersedes the scalar
+    /// fleet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lineup's engine count disagrees with `engines`.
+    pub fn with_lineup(mut self, lineup: EngineLineup) -> Self {
+        assert_eq!(
+            lineup.engines(),
+            self.engines,
+            "lineup width must match the engine count"
+        );
+        self.lineup = Some(lineup);
+        self
+    }
+
+    /// Whether idle engines steal queued work (from whichever fleet
+    /// abstraction is active).
+    fn stealing(&self) -> bool {
+        self.lineup
+            .as_ref()
+            .map_or(self.fleet.work_stealing, |l| l.work_stealing)
+    }
+
+    /// The fleet label of whichever fleet abstraction is active.
+    fn fleet_label(&self) -> String {
+        self.lineup
+            .as_ref()
+            .map_or_else(|| self.fleet.label(), EngineLineup::label)
     }
 
     /// Arms a failure drill.
@@ -433,8 +860,15 @@ pub struct PreparedRequest {
     /// Global (original dataset) ids of the sampled neighborhood — the
     /// input-feature rows the engine pulls through its warm cache.
     pub vertices: Vec<u32>,
-    /// Cold service simulation of the request's workload.
+    /// Cold service simulation of the request's workload on the
+    /// reference platform.
     pub report: SimReport,
+    /// Subgraph statistics for cost-model prediction. [`Default`] in
+    /// fabricated test streams — the event loop itself never reads it.
+    pub stats: RequestStats,
+    /// Per-class cold reports (one per [`EngineLineup`] class, in class
+    /// order) from [`prepare_lineup`]; empty on the legacy scalar path.
+    pub class_reports: Vec<SimReport>,
 }
 
 /// Samples, builds and simulates every request in parallel (stream
@@ -452,30 +886,69 @@ pub fn prepare(
     model: &AccelModel,
     hw: &HwConfig,
 ) -> Vec<PreparedRequest> {
+    prepare_classes(ctx, requests, model, std::slice::from_ref(hw), false)
+}
+
+/// [`prepare`] for a heterogeneous lineup: simulates every request's
+/// cold service **once per hardware class** inside the same parallel
+/// phase, filling [`PreparedRequest::class_reports`] in class order.
+/// The reference report (`report`) is class 0's, so arrival calibration
+/// stays reference-based regardless of the lineup mix.
+pub fn prepare_lineup(
+    ctx: &ServingContext,
+    requests: &[Request],
+    model: &AccelModel,
+    lineup: &EngineLineup,
+) -> Vec<PreparedRequest> {
+    let hws: Vec<HwConfig> = lineup.classes.iter().map(|c| c.hw).collect();
+    prepare_classes(ctx, requests, model, &hws, true)
+}
+
+fn prepare_classes(
+    ctx: &ServingContext,
+    requests: &[Request],
+    model: &AccelModel,
+    hws: &[HwConfig],
+    keep_class_reports: bool,
+) -> Vec<PreparedRequest> {
     let mut distinct: Vec<u32> = requests.iter().map(|r| r.seed_vertex).collect();
     distinct.sort_unstable();
     distinct.dedup();
-    let per_vertex: Vec<(Vec<u32>, SimReport)> = par_map(distinct.clone(), |seed_vertex| {
-        let probe = Request {
-            index: 0,
-            seed_vertex,
-        };
-        let sub = ctx.sample(&probe);
-        let vertices = sub.vertices.clone();
-        let wl = ctx.build_workload_from(&probe, sub);
-        (vertices, model.simulate(&wl, hw))
-    });
+    let per_vertex: Vec<(Vec<u32>, RequestStats, Vec<SimReport>)> =
+        par_map(distinct.clone(), |seed_vertex| {
+            let probe = Request {
+                index: 0,
+                seed_vertex,
+            };
+            let sub = ctx.sample(&probe);
+            let vertices = sub.vertices.clone();
+            let wl = ctx.build_workload_from(&probe, sub);
+            let stats = RequestStats {
+                vertices: vertices.len() as u64,
+                edges: wl.graph().num_edges() as u64,
+                sparsity: wl.trace.avg_intermediate_sparsity(),
+                feature_bytes: vertices.len() as u64 * wl.dataset.input_features as u64 * 4,
+            };
+            let reports = hws.iter().map(|hw| model.simulate(&wl, hw)).collect();
+            (vertices, stats, reports)
+        });
     requests
         .iter()
         .map(|req| {
             let at = distinct
                 .binary_search(&req.seed_vertex)
                 .expect("every stream vertex was prepared");
-            let (vertices, report) = &per_vertex[at];
+            let (vertices, stats, reports) = &per_vertex[at];
             PreparedRequest {
                 request: *req,
                 vertices: vertices.clone(),
-                report: report.clone(),
+                report: reports[0].clone(),
+                stats: *stats,
+                class_reports: if keep_class_reports {
+                    reports.clone()
+                } else {
+                    Vec::new()
+                },
             }
         })
         .collect()
@@ -538,15 +1011,28 @@ pub struct FailedRecord {
     pub attempts: u32,
 }
 
+/// A warm-accounted service: the priced service time and the cache
+/// counters the accounting produced.
+#[derive(Debug, Clone, Copy)]
+struct ExactService {
+    service: u64,
+    warm: SpanCounts,
+}
+
 /// A request assigned to an engine but not yet started (lazy loop only).
 #[derive(Debug, Clone, Copy)]
 struct Queued {
     id: usize,
     arrival: u64,
-    /// Service estimate at assignment time (the assignee's scale) —
-    /// used for backlog projections only; the serving engine recomputes
-    /// at its own scale when service starts.
+    /// Service estimate at assignment time (the assignee's scale). In
+    /// exact-estimate mode this is the warm-accounted service; in
+    /// reordering/stealing/drill runs it is the cold scaled estimate
+    /// and the serving engine re-prices when service starts.
     est: u64,
+    /// The warm accounting already performed at assignment
+    /// (exact-estimate mode only) — consumed by `start_service` without
+    /// touching the cache again.
+    exact: Option<ExactService>,
 }
 
 /// The request an engine is currently serving (lazy loop only) — what a
@@ -571,8 +1057,12 @@ struct Engine {
     busy: u64,
     served: u64,
     warm: SpanCounts,
-    /// Service-time scale of this engine's accelerator class.
+    /// Service-time scale of this engine's accelerator class (legacy
+    /// scalar fleet; 1.0 under a hardware lineup).
     scale: f64,
+    /// Hardware-class index into the run's pricing table (0 on the
+    /// legacy scalar path).
+    class: usize,
     /// Crash counter: completion events minted before a crash carry a
     /// stale epoch and are discarded when popped.
     epoch: u64,
@@ -671,6 +1161,41 @@ fn scale_service(cold_cycles: u64, scale: f64) -> u64 {
     }
 }
 
+/// Per-hardware-class warm-savings pricing: the class's effective DRAM
+/// bandwidth, cache line size, and line-aligned feature-row stride.
+#[derive(Debug, Clone, Copy)]
+struct ClassPricing {
+    effective_bw: f64,
+    line_bytes: u64,
+    row_stride: u64,
+}
+
+impl ClassPricing {
+    /// Pricing from a cache geometry + DRAM pair (the legacy path uses
+    /// the run's warm-cache geometry with the shared platform DRAM; a
+    /// lineup class uses its own hardware for both).
+    fn new(cache: &CacheConfig, dram: &sgcn_mem::DramConfig, feature_row_bytes: u64) -> Self {
+        let line_bytes = cache.line_bytes;
+        ClassPricing {
+            effective_bw: dram.peak_bytes_per_cycle * dram.efficiency,
+            line_bytes,
+            row_stride: feature_row_bytes.div_ceil(line_bytes) * line_bytes,
+        }
+    }
+}
+
+/// Bounded-load affinity slack: two mean cold services, guarded against
+/// degenerate means (empty streams, fabricated zero-cycle profiles, or
+/// non-finite sums) — an unguarded `as u64` cast maps NaN to 0 and
+/// would silently degenerate bounded-load affinity to pure greedy.
+fn affinity_slack_cycles(mean_service: f64) -> u64 {
+    if mean_service.is_finite() && mean_service > 0.0 {
+        (2.0 * mean_service).ceil() as u64
+    } else {
+        0
+    }
+}
+
 /// The serial event loop's working state.
 struct QueueSim<'a> {
     prepared: &'a [PreparedRequest],
@@ -683,9 +1208,20 @@ struct QueueSim<'a> {
     /// stale epoch were killed by a crash and are discarded on pop.
     completions: BinaryHeap<Reverse<(u64, usize, u64, usize)>>,
     source: Source,
-    effective_bw: f64,
-    line_bytes: u64,
-    row_stride: u64,
+    /// Per-class warm-savings pricing (one entry on the legacy path).
+    pricing: Vec<ClassPricing>,
+    /// Whether the run prices service from per-class lineup reports.
+    lineup_active: bool,
+    /// The fitted service-time predictor (cost-aware routing under a
+    /// lineup; `None` otherwise — legacy cost-aware routes on the exact
+    /// cold scaled estimate).
+    cost: Option<CostModel>,
+    /// Work stealing (from whichever fleet abstraction is active).
+    stealing: bool,
+    /// Lazy loop in exact-estimate mode: assignment order equals
+    /// service order, so warm accounting happens at assignment and
+    /// `queued_est` carries warm-adjusted service (eager-equivalent).
+    exact_est: bool,
     affinity_slack: u64,
     event_driven: bool,
     /// Drill state (faults/autoscale): changes event ordering details
@@ -752,6 +1288,25 @@ impl QueueSim<'_> {
                 .min_by_key(|(id, e)| (e.projected_free(), *id))
                 .map(|(id, _)| id)
                 .expect("an engine is available"),
+            // Cost-model routing: minimize predicted completion
+            // (projected start + predicted service on the engine's
+            // class), falling back to least-loaded order then the
+            // lowest id on ties.
+            SchedPolicy::CostAware => self
+                .engines
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.available())
+                .min_by_key(|(id, e)| {
+                    let start = e.projected_free().max(arrival);
+                    (
+                        start.saturating_add(self.predicted_service(*id, p)),
+                        e.projected_free(),
+                        *id,
+                    )
+                })
+                .map(|(id, _)| id)
+                .expect("an engine is available"),
             SchedPolicy::CacheAffinity => {
                 // Bounded-load affinity: an engine's backlog is the work
                 // queued beyond the request's arrival instant; only
@@ -776,14 +1331,11 @@ impl QueueSim<'_> {
                     if !eng.available() || backlog(eng) > limit {
                         continue;
                     }
+                    let stride = self.pricing[eng.class].row_stride;
                     let hits: u64 = p
                         .vertices
                         .iter()
-                        .map(|&v| {
-                            eng.mem
-                                .peek_span(u64::from(v) * self.row_stride, self.row_stride)
-                                .hits
-                        })
+                        .map(|&v| eng.mem.peek_span(u64::from(v) * stride, stride).hits)
                         .sum();
                     let key = (hits, u64::MAX - eng.projected_free());
                     if best == usize::MAX || key > best_key {
@@ -808,11 +1360,50 @@ impl QueueSim<'_> {
         }
     }
 
-    /// Runs one request on engine `e` starting at `start`: warm-cache
-    /// filtering, service-time displacement, bookkeeping. Returns the
-    /// finish time.
-    fn start_service(&mut self, e: usize, id: usize, arrival: u64, est: u64, start: u64) -> u64 {
+    /// The cold report request `id` runs from on engine `e`'s hardware
+    /// class: its per-class lineup report, or the reference report on
+    /// the legacy scalar path.
+    fn cold_report(&self, e: usize, id: usize) -> &SimReport {
         let p = &self.prepared[id];
+        if self.lineup_active {
+            &p.class_reports[self.engines[e].class]
+        } else {
+            &p.report
+        }
+    }
+
+    /// Cold service estimate of request `id` on engine `e` (the class
+    /// report scaled by the engine's legacy factor).
+    fn cold_est(&self, e: usize, id: usize) -> u64 {
+        scale_service(self.cold_report(e, id).cycles, self.engines[e].scale)
+    }
+
+    /// Predicted service of request `id` on engine `e` for cost-aware
+    /// routing: the fitted cost model's per-class prediction under a
+    /// lineup, the exact cold scaled estimate otherwise.
+    fn predicted_service(&self, e: usize, p: &PreparedRequest) -> u64 {
+        match &self.cost {
+            Some(model) => model.predict_cycles(self.engines[e].class, &p.stats),
+            None => scale_service(p.report.cycles, self.engines[e].scale),
+        }
+    }
+
+    /// Pulls request `id`'s feature working set through engine `e`'s
+    /// warm cache and prices its service: warm hits displace
+    /// feature-read DRAM bytes at the class's effective bandwidth, and
+    /// the whole warm-adjusted cold time is scaled by the engine's
+    /// legacy factor — a slow engine's savings are slow too.
+    fn account_warm(&mut self, e: usize, id: usize) -> ExactService {
+        let prepared = self.prepared;
+        let p = &prepared[id];
+        let class = self.engines[e].class;
+        let pricing = self.pricing[class];
+        let scale = self.engines[e].scale;
+        let report = if self.lineup_active {
+            &p.class_reports[class]
+        } else {
+            &p.report
+        };
         let eng = &mut self.engines[e];
         // Fresh per-request counters on a warm hierarchy (contents and
         // open rows survive; see MemorySystem::reset_stats).
@@ -822,7 +1413,7 @@ impl QueueSim<'_> {
         // same batched replay the dataflow simulator uses
         // (`MemorySystem::access_lines`), bit-identical to the per-span
         // path.
-        let lines_per_row = self.row_stride / self.line_bytes;
+        let lines_per_row = pricing.row_stride / pricing.line_bytes;
         let mut warm = SpanCounts::default();
         for &v in &p.vertices {
             warm.add(eng.mem.access_lines(
@@ -834,13 +1425,33 @@ impl QueueSim<'_> {
         // Reuse can only displace feature-read DRAM traffic the cold run
         // actually paid for.
         let saved_bytes =
-            (warm.hits * self.line_bytes).min(p.report.dram_bytes_for(Traffic::FeatureRead));
-        let saved_cycles = if self.effective_bw > 0.0 {
-            (saved_bytes as f64 / self.effective_bw).floor() as u64
+            (warm.hits * pricing.line_bytes).min(report.dram_bytes_for(Traffic::FeatureRead));
+        let saved_cycles = if pricing.effective_bw > 0.0 {
+            (saved_bytes as f64 / pricing.effective_bw).floor() as u64
         } else {
             0
         };
-        let service = est.saturating_sub(saved_cycles).max(1);
+        let service = scale_service(report.cycles.saturating_sub(saved_cycles), scale).max(1);
+        ExactService { service, warm }
+    }
+
+    /// Runs one request on engine `e` starting at `start`: warm-cache
+    /// filtering (unless already accounted at assignment), service-time
+    /// displacement, bookkeeping. Returns the finish time.
+    fn start_service(
+        &mut self,
+        e: usize,
+        id: usize,
+        arrival: u64,
+        start: u64,
+        exact: Option<ExactService>,
+    ) -> u64 {
+        let ExactService { service, warm } = match exact {
+            Some(done) => done,
+            None => self.account_warm(e, id),
+        };
+        let p = &self.prepared[id];
+        let eng = &mut self.engines[e];
         let finish = start + service;
         eng.next_free = finish;
         eng.busy += service;
@@ -939,7 +1550,7 @@ impl QueueSim<'_> {
         while let Some((id, arrival)) = self.next_arrival() {
             let p = &self.prepared[id];
             let e = self.pick_engine(p, arrival);
-            let est = scale_service(p.report.cycles, self.engines[e].scale);
+            let est = self.cold_est(e, id);
             if self.shed_decision(arrival, e, est) {
                 self.shed.push(ShedRecord {
                     index: p.request.index,
@@ -949,7 +1560,7 @@ impl QueueSim<'_> {
                 continue;
             }
             let start = arrival.max(self.engines[e].next_free);
-            let finish = self.start_service(e, id, arrival, est, start);
+            let finish = self.start_service(e, id, arrival, start, None);
             self.schedule_next_client(id, finish);
         }
     }
@@ -1074,7 +1685,7 @@ impl QueueSim<'_> {
         }
         let p = &self.prepared[id];
         let e = self.pick_engine(p, t);
-        let est = scale_service(p.report.cycles, self.engines[e].scale);
+        let est = self.cold_est(e, id);
         if self.shed_decision(t, e, est) {
             self.shed.push(ShedRecord {
                 index: p.request.index,
@@ -1084,10 +1695,20 @@ impl QueueSim<'_> {
             return;
         }
         self.attempts[id] = 1;
+        // Exact-estimate mode: assignment order is service order, so the
+        // warm accounting the eager loop would do right now happens here
+        // — queued_est then projects warm-adjusted service exactly.
+        let exact = if self.exact_est {
+            Some(self.account_warm(e, id))
+        } else {
+            None
+        };
+        let est = exact.map_or(est, |x| x.service);
         self.engines[e].queue.push(Queued {
             id,
             arrival: t,
             est,
+            exact,
         });
         self.engines[e].queued_est = self.engines[e].queued_est.saturating_add(est);
         self.dispatch_idle(t);
@@ -1102,9 +1723,8 @@ impl QueueSim<'_> {
                 continue; // down, parked, or mid-service
             }
             if let Some(q) = self.pop_next(e) {
-                let est = scale_service(self.prepared[q.id].report.cycles, self.engines[e].scale);
                 let start = t.max(self.engines[e].next_free);
-                let finish = self.start_service(e, q.id, q.arrival, est, start);
+                let finish = self.start_service(e, q.id, q.arrival, start, q.exact);
                 // Under drills the closed-loop client is released at the
                 // completion *event* instead (the request may yet be
                 // killed and redriven — its outcome is not known here).
@@ -1175,7 +1795,7 @@ impl QueueSim<'_> {
         let first_dispatch = self.attempts[id] == 0;
         let p = &self.prepared[id];
         let e = self.pick_engine(p, t);
-        let est = scale_service(p.report.cycles, self.engines[e].scale);
+        let est = self.cold_est(e, id);
         if first_dispatch && self.shed_decision(t, e, est) {
             self.shed.push(ShedRecord {
                 index: p.request.index,
@@ -1188,10 +1808,13 @@ impl QueueSim<'_> {
         if !first_dispatch {
             self.retries += 1;
         }
+        // Redrives exist only under drills, which never run in
+        // exact-estimate mode: queue at the cold estimate.
         self.engines[e].queue.push(Queued {
             id,
             arrival: self.arrival_of[id],
             est,
+            exact: None,
         });
         self.engines[e].queued_est = self.engines[e].queued_est.saturating_add(est);
         self.dispatch_idle(t);
@@ -1344,7 +1967,7 @@ impl QueueSim<'_> {
             self.engines[e].queued_est -= q.est;
             return Some(q);
         }
-        if !self.cfg.fleet.work_stealing {
+        if !self.stealing {
             return None;
         }
         let mut victim = usize::MAX;
@@ -1426,6 +2049,24 @@ pub fn simulate_queue_forced(
             "fleet scales must be positive and finite, got {s}"
         );
     }
+    if let Some(lineup) = &cfg.lineup {
+        assert_eq!(
+            lineup.engines(),
+            cfg.engines,
+            "lineup width must match the engine count"
+        );
+        assert!(
+            lineup.assignment.iter().all(|&k| k < lineup.classes.len()),
+            "lineup assigns an unknown class"
+        );
+        for p in prepared {
+            assert_eq!(
+                p.class_reports.len(),
+                lineup.classes.len(),
+                "a lineup run needs per-class cold reports — prepare with prepare_lineup"
+            );
+        }
+    }
     let n = prepared.len();
     // Arrival rate calibrated to the stream's own mean cold service time
     // on a reference engine: ρ = offered_load of the fleet's aggregate
@@ -1486,21 +2127,32 @@ pub fn simulate_queue_forced(
     };
 
     // Warm hits displace DRAM fetches; the shaved service time is the
-    // avoided bytes at the device's effective bandwidth.
-    let effective_bw = hw.dram.peak_bytes_per_cycle * hw.dram.efficiency;
-    let line_bytes = cfg.warm_cache.line_bytes;
-    // Rows are line-aligned in the warm-cache address space: padding the
-    // stride to a line multiple keeps adjacent vertex ids from sharing a
+    // avoided bytes at the class's effective bandwidth. Rows are
+    // line-aligned in the warm-cache address space: padding the stride
+    // to a line multiple keeps adjacent vertex ids from sharing a
     // boundary line, so a cold engine reports zero warm hits even when
     // the row size is not a multiple of the line size (the line count
     // per row is unchanged — an aligned row touches ⌈row/line⌉ lines
-    // either way).
-    let row_stride = feature_row_bytes.div_ceil(line_bytes) * line_bytes;
+    // either way). The legacy path prices every engine with the run's
+    // warm-cache geometry on the shared platform DRAM; a lineup prices
+    // each class from its own hardware.
+    let pricing: Vec<ClassPricing> = match &cfg.lineup {
+        Some(lineup) => lineup
+            .classes
+            .iter()
+            .map(|c| ClassPricing::new(&c.hw.cache, &c.hw.dram, feature_row_bytes))
+            .collect(),
+        None => vec![ClassPricing::new(
+            &cfg.warm_cache,
+            &hw.dram,
+            feature_row_bytes,
+        )],
+    };
     // Affinity slack: the warm engine may run ahead of the least-loaded
     // one by at most two mean cold services before the policy falls back
     // to balancing (bounded-load affinity — pure greedy routing would
     // starve the rest of the fleet behind one hot engine).
-    let affinity_slack = (2.0 * mean_service).ceil() as u64;
+    let affinity_slack = affinity_slack_cycles(mean_service);
 
     if let Some(pol) = &cfg.autoscale {
         assert!(
@@ -1515,15 +2167,28 @@ pub fn simulate_queue_forced(
         .autoscale
         .as_ref()
         .map_or(cfg.engines, |p| p.min_engines);
-    let engines: Vec<Engine> = cfg
-        .fleet
-        .scales
+    // Per-engine (class, scale, memory system): a lineup engine runs
+    // its class's own cache geometry, DRAM and cache engine at scale
+    // 1.0; a legacy engine runs the shared warm-cache geometry at its
+    // fleet scale.
+    let engine_hw: Vec<(usize, f64)> = match &cfg.lineup {
+        Some(lineup) => lineup.assignment.iter().map(|&k| (k, 1.0)).collect(),
+        None => cfg.fleet.scales.iter().map(|&s| (0, s)).collect(),
+    };
+    let engines: Vec<Engine> = engine_hw
         .iter()
         .enumerate()
-        .map(|(e, &scale)| {
+        .map(|(e, &(class, scale))| {
             let active = e < initial_active;
+            let mem = match &cfg.lineup {
+                Some(lineup) => {
+                    let class_hw = &lineup.classes[class].hw;
+                    MemorySystem::with_engine(class_hw.cache, class_hw.dram, class_hw.cache_engine)
+                }
+                None => MemorySystem::with_engine(cfg.warm_cache, hw.dram, hw.cache_engine),
+            };
             Engine {
-                mem: MemorySystem::with_engine(cfg.warm_cache, hw.dram, hw.cache_engine),
+                mem,
                 next_free: 0,
                 queue: Vec::new(),
                 queued_est: 0,
@@ -1531,6 +2196,7 @@ pub fn simulate_queue_forced(
                 served: 0,
                 warm: SpanCounts::default(),
                 scale,
+                class,
                 epoch: 0,
                 up: true,
                 active,
@@ -1561,11 +2227,25 @@ pub fn simulate_queue_forced(
         ),
         None => (0, 0),
     };
-    let lazy = force_lazy || cfg.policy.reorders_queue() || cfg.fleet.work_stealing || drills;
+    let stealing = cfg.stealing();
+    let lazy = force_lazy || cfg.policy.reorders_queue() || stealing || drills;
     assert!(
         !drills || lazy,
         "failure drills always run the event-driven loop"
     );
+    // A lazy run whose service order provably equals assignment order
+    // can account warm caches at assignment, exactly like the eager
+    // loop — the exact-estimate mode that keeps the two loops
+    // byte-identical on every non-reordering configuration.
+    let exact_est = lazy && !drills && !stealing && !cfg.policy.reorders_queue();
+    // The cost model is fitted (serially, in stream order) only when
+    // cost-aware routing actually has distinct hardware to predict for.
+    let cost = match (&cfg.lineup, cfg.policy) {
+        (Some(lineup), SchedPolicy::CostAware) => {
+            Some(CostModel::fit(prepared, lineup.classes.len()))
+        }
+        _ => None,
+    };
     let peak_available = engines.iter().filter(|e| e.available()).count();
     let mut sim = QueueSim {
         prepared,
@@ -1576,9 +2256,11 @@ pub fn simulate_queue_forced(
         failed: Vec::new(),
         completions: BinaryHeap::new(),
         source,
-        effective_bw,
-        line_bytes,
-        row_stride,
+        pricing,
+        lineup_active: cfg.lineup.is_some(),
+        cost,
+        stealing,
+        exact_est,
         affinity_slack,
         event_driven: lazy,
         drills,
@@ -1667,7 +2349,8 @@ pub fn simulate_queue_forced(
     }
 }
 
-/// Convenience wrapper: [`prepare`] + [`simulate_queue`] in one call.
+/// Convenience wrapper: [`prepare`] (or [`prepare_lineup`] when the
+/// config carries a lineup) + [`simulate_queue`] in one call.
 pub fn run_queue(
     ctx: &ServingContext,
     requests: &[Request],
@@ -1675,7 +2358,10 @@ pub fn run_queue(
     hw: &HwConfig,
     cfg: &QueueConfig,
 ) -> QueueOutcome {
-    let prepared = prepare(ctx, requests, model, hw);
+    let prepared = match &cfg.lineup {
+        Some(lineup) => prepare_lineup(ctx, requests, model, lineup),
+        None => prepare(ctx, requests, model, hw),
+    };
     simulate_queue(&prepared, cfg, hw, feature_row_bytes(ctx))
 }
 
@@ -1768,6 +2454,9 @@ pub struct QueueSummary {
     pub availability: f64,
     /// Largest simultaneously-available fleet observed.
     pub peak_engines: usize,
+    /// Fleet price in cost units: the lineup's summed class costs, or
+    /// one unit per engine on the legacy scalar path.
+    pub cost_units: f64,
 }
 
 /// Drill counters threaded from the event loop into the summary.
@@ -1836,7 +2525,7 @@ impl QueueSummary {
                 .as_ref()
                 .map(|t| t.traffic.clone())
                 .unwrap_or_else(|| cfg.traffic.label()),
-            fleet: cfg.fleet.label(),
+            fleet: cfg.fleet_label(),
             deadline_cycles: cfg.slo.map(|s| s.deadline_cycles).unwrap_or(0),
             completed,
             shed: slo_stats.shed,
@@ -1874,6 +2563,10 @@ impl QueueSummary {
             failed_rate: div(failed.len() as f64, offered as f64),
             availability: div(uptime as f64, cfg.engines as f64 * makespan as f64),
             peak_engines: drill.peak_engines,
+            cost_units: cfg
+                .lineup
+                .as_ref()
+                .map_or(cfg.engines as f64, EngineLineup::cost_units),
         }
     }
 
@@ -1883,7 +2576,7 @@ impl QueueSummary {
     pub fn to_json(&self, label: &str) -> String {
         let label = label.replace('\\', "\\\\").replace('"', "\\\"");
         format!(
-            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {}\n}}\n",
+            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {},\n  \"cost_units\": {:.3}\n}}\n",
             self.requests,
             self.engines,
             self.policy,
@@ -1921,6 +2614,7 @@ impl QueueSummary {
             self.failed_rate,
             self.availability,
             self.peak_engines,
+            self.cost_units,
         )
     }
 }
@@ -2151,26 +2845,261 @@ mod tests {
     }
 
     #[test]
-    fn lazy_loop_reproduces_eager_loop_on_fifo_configs() {
+    fn lazy_loop_reproduces_eager_loop_on_in_order_configs() {
         // The two execution strategies must agree wherever both apply:
-        // FIFO service order, no stealing. Exercised across traffic
-        // models (incl. the closed loop) and a heterogeneous fleet.
+        // any non-reordering policy, no stealing, no drills. The lazy
+        // loop's exact-estimate mode accounts warm caches at assignment,
+        // so even load-sensitive policies project the same
+        // warm-adjusted backlog the eager loop knows. Exercised across
+        // traffic models (incl. the closed loop) and a heterogeneous
+        // fleet.
         let (_ctx, prepared, row) = prepared_tiny(20, 4);
         let hw = HwConfig::default();
-        for traffic in [
-            TrafficModel::Exponential,
-            TrafficModel::bursty_default(),
-            TrafficModel::ClosedLoop { clients: 3 },
+        for policy in [
+            SchedPolicy::FifoRoundRobin,
+            SchedPolicy::LeastLoaded,
+            SchedPolicy::CacheAffinity,
+            SchedPolicy::CostAware,
         ] {
-            for fleet in [FleetSpec::uniform(3), FleetSpec::mixed(3, 1.5)] {
-                let cfg = qcfg(3, SchedPolicy::FifoRoundRobin)
-                    .with_traffic(traffic)
-                    .with_fleet(fleet);
-                let eager = simulate_queue_forced(&prepared, &cfg, &hw, row, false);
-                let lazy = simulate_queue_forced(&prepared, &cfg, &hw, row, true);
-                assert_eq!(eager, lazy, "{traffic:?} {:?}", cfg.fleet.label());
+            for traffic in [
+                TrafficModel::Exponential,
+                TrafficModel::bursty_default(),
+                TrafficModel::ClosedLoop { clients: 3 },
+            ] {
+                for fleet in [FleetSpec::uniform(3), FleetSpec::mixed(3, 1.5)] {
+                    let cfg = qcfg(3, policy).with_traffic(traffic).with_fleet(fleet);
+                    let eager = simulate_queue_forced(&prepared, &cfg, &hw, row, false);
+                    let lazy = simulate_queue_forced(&prepared, &cfg, &hw, row, true);
+                    assert_eq!(
+                        eager,
+                        lazy,
+                        "{policy:?} {traffic:?} {:?}",
+                        cfg.fleet.label()
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn lazy_loop_reproduces_eager_loop_on_lineups() {
+        // Exact-estimate equivalence holds under a hardware lineup too:
+        // per-class pricing happens at assignment in both loops.
+        let ctx = tiny_ctx();
+        let stream = ctx.hotspot_stream(18, 4);
+        let base = HwConfig::default();
+        let lineup = EngineLineup::mixed(3, base);
+        let prepared = prepare_lineup(&ctx, &stream, &AccelModel::sgcn(), &lineup);
+        let row = feature_row_bytes(&ctx);
+        for policy in [
+            SchedPolicy::LeastLoaded,
+            SchedPolicy::CacheAffinity,
+            SchedPolicy::CostAware,
+        ] {
+            let cfg = qcfg(3, policy).with_lineup(lineup.clone());
+            let eager = simulate_queue_forced(&prepared, &cfg, &base, row, false);
+            let lazy = simulate_queue_forced(&prepared, &cfg, &base, row, true);
+            assert_eq!(eager, lazy, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn warm_savings_scale_with_the_engine_class() {
+        // Regression (heterogeneous-engine mispricing): warm-hit savings
+        // used to be subtracted from the *scaled* estimate at reference
+        // bandwidth, so a 2×-slow engine banked full-speed DRAM savings.
+        // Post-fix, the warm-adjusted cold time is scaled as a whole:
+        // slow warm service must be the scaled fast warm service, and
+        // never less than it.
+        let (_ctx, prepared, row) = prepared_tiny(8, 1);
+        let hw = HwConfig::default();
+        let fast_cfg = QueueConfig::new(1, SchedPolicy::LeastLoaded, 0.5, 7);
+        let slow_cfg = QueueConfig::new(1, SchedPolicy::LeastLoaded, 0.5, 7)
+            .with_fleet(FleetSpec::parse("2.0", 1).expect("parses"));
+        let fast = simulate_queue(&prepared, &fast_cfg, &hw, row);
+        let slow = simulate_queue(&prepared, &slow_cfg, &hw, row);
+        assert_eq!(fast.records.len(), slow.records.len());
+        let mut warm_seen = false;
+        for (f, s) in fast.records.iter().zip(&slow.records) {
+            assert_eq!(f.index, s.index);
+            // One engine, one hot seed: both runs touch the cache in the
+            // same order, so the warm trajectories match.
+            assert_eq!(f.warm, s.warm);
+            assert!(
+                s.service_cycles >= f.service_cycles,
+                "slow warm service {} < fast warm service {}",
+                s.service_cycles,
+                f.service_cycles
+            );
+            assert_eq!(
+                s.service_cycles,
+                scale_service(f.service_cycles, 2.0),
+                "request {}: slow engine banked reference-speed savings",
+                f.index
+            );
+            warm_seen |= f.warm.hits > 0;
+        }
+        assert!(warm_seen, "the hotspot stream never hit warm");
+    }
+
+    #[test]
+    fn affinity_slack_guards_degenerate_means() {
+        assert_eq!(affinity_slack_cycles(10.5), 21);
+        assert_eq!(affinity_slack_cycles(1.0), 2);
+        assert_eq!(affinity_slack_cycles(0.0), 0);
+        assert_eq!(affinity_slack_cycles(-3.0), 0);
+        assert_eq!(affinity_slack_cycles(f64::NAN), 0);
+        assert_eq!(affinity_slack_cycles(f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn cache_affinity_survives_a_degenerate_stream() {
+        // An empty prepared stream has mean_service = 0 — the affinity
+        // slack degenerates to 0 and the run must still be finite.
+        let out = simulate_queue(
+            &[],
+            &qcfg(2, SchedPolicy::CacheAffinity),
+            &HwConfig::default(),
+            256,
+        );
+        assert_eq!(out.summary.requests, 0);
+        let json = out.summary.to_json("degenerate");
+        assert!(
+            !json.contains("inf") && !json.contains("NaN") && !json.contains("nan"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn lineup_labels_and_parse_round_trip() {
+        let base = HwConfig::default();
+        for spec in ["uniform", "eco", "mixed"] {
+            let lineup = EngineLineup::parse(spec, 4, base).expect("parses");
+            assert_eq!(lineup.label(), format!("lineup-{spec}"));
+            let steal = EngineLineup::parse(&format!("{spec}+steal"), 4, base).expect("parses");
+            assert_eq!(steal.label(), format!("lineup-{spec}+steal"));
+            assert!(steal.work_stealing);
+        }
+        assert_eq!(EngineLineup::parse("bogus", 4, base), None);
+        assert_eq!(EngineLineup::mixed(4, base).engines(), 4);
+        let mixed = EngineLineup::mixed(4, base);
+        assert!(mixed.cost_units() < 4.0, "eco engines are cheaper");
+        assert!((EngineLineup::uniform(4, base).cost_units() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_lineup_on_the_base_hw_matches_the_scalar_fleet() {
+        // A uniform lineup of reference-class engines prices exactly
+        // like the legacy uniform fleet (same cache geometry, same DRAM,
+        // same cold reports), so per-request records must be identical.
+        let ctx = tiny_ctx();
+        let stream = ctx.hotspot_stream(16, 3);
+        let base = HwConfig::default();
+        let row = feature_row_bytes(&ctx);
+        let legacy_prepared = prepare(&ctx, &stream, &AccelModel::sgcn(), &base);
+        let lineup = EngineLineup::uniform(3, base);
+        let lineup_prepared = prepare_lineup(&ctx, &stream, &AccelModel::sgcn(), &lineup);
+        for policy in [SchedPolicy::LeastLoaded, SchedPolicy::CacheAffinity] {
+            let legacy = simulate_queue(&legacy_prepared, &qcfg(3, policy), &base, row);
+            let lin = simulate_queue(
+                &lineup_prepared,
+                &qcfg(3, policy).with_lineup(lineup.clone()),
+                &base,
+                row,
+            );
+            assert_eq!(legacy.records, lin.records, "{policy:?}");
+            assert_eq!(legacy.engine_busy, lin.engine_busy);
+            assert_eq!(legacy.summary.warm_hits, lin.summary.warm_hits);
+        }
+    }
+
+    #[test]
+    fn eco_lineup_engines_serve_slower_than_reference() {
+        // The eco class (half the engines, HBM1) must actually cost
+        // cycles — otherwise the lineup grid answers nothing.
+        let ctx = tiny_ctx();
+        let stream = ctx.hotspot_stream(12, 3);
+        let base = HwConfig::default();
+        let lineup = EngineLineup::mixed(2, base);
+        let prepared = prepare_lineup(&ctx, &stream, &AccelModel::sgcn(), &lineup);
+        for p in &prepared {
+            assert_eq!(p.class_reports.len(), 2);
+            assert_eq!(p.class_reports[0], p.report);
+            assert!(
+                p.class_reports[1].cycles > p.class_reports[0].cycles,
+                "eco ({}) should be slower than ref ({})",
+                p.class_reports[1].cycles,
+                p.class_reports[0].cycles
+            );
+        }
+    }
+
+    #[test]
+    fn cost_model_predicts_per_class_service_deterministically() {
+        let ctx = tiny_ctx();
+        let stream = ctx.hotspot_stream(20, 5);
+        let base = HwConfig::default();
+        let lineup = EngineLineup::mixed(2, base);
+        let prepared = prepare_lineup(&ctx, &stream, &AccelModel::sgcn(), &lineup);
+        let model = CostModel::fit(&prepared, 2);
+        assert_eq!(model.classes(), 2);
+        // Refitting the same stream yields the same model, and
+        // predictions are pure in (stats, class).
+        assert_eq!(model, CostModel::fit(&prepared, 2));
+        for p in &prepared {
+            let ref_pred = model.predict_cycles(0, &p.stats);
+            let eco_pred = model.predict_cycles(1, &p.stats);
+            assert_eq!(ref_pred, model.predict_cycles(0, &p.stats));
+            assert!(ref_pred >= 1 && eco_pred >= 1);
+            // The fit should be tight on its own training points: these
+            // are near-linear functions of (vertices, edges).
+            let rel = (ref_pred as f64 - p.report.cycles as f64).abs() / p.report.cycles as f64;
+            assert!(
+                rel < 0.25,
+                "prediction {ref_pred} is {rel:.2} off cold {}",
+                p.report.cycles
+            );
+        }
+        // The fitted eco predictions track the real ordering on average.
+        let (mut eco_more, mut total) = (0usize, 0usize);
+        for p in &prepared {
+            total += 1;
+            if model.predict_cycles(1, &p.stats) > model.predict_cycles(0, &p.stats) {
+                eco_more += 1;
+            }
+        }
+        assert!(
+            eco_more * 2 > total,
+            "eco predicted slower on only {eco_more}/{total} requests"
+        );
+    }
+
+    #[test]
+    fn cost_aware_matches_or_beats_least_loaded_on_a_mixed_lineup() {
+        // The acceptance gate of the lineup work: on a heterogeneous
+        // lineup under bursty traffic, routing on predicted per-class
+        // completion must not lose to class-blind least-loaded routing.
+        let ctx = tiny_ctx();
+        let stream = ctx.hotspot_stream(48, 6);
+        let base = HwConfig::default();
+        let lineup = EngineLineup::mixed(4, base);
+        let prepared = prepare_lineup(&ctx, &stream, &AccelModel::sgcn(), &lineup);
+        let row = feature_row_bytes(&ctx);
+        let run = |policy| {
+            let cfg = QueueConfig::new(4, policy, 0.9, 7)
+                .with_traffic(TrafficModel::bursty_default())
+                .with_lineup(lineup.clone());
+            simulate_queue(&prepared, &cfg, &base, row)
+        };
+        let least = run(SchedPolicy::LeastLoaded);
+        let cost = run(SchedPolicy::CostAware);
+        assert_eq!(cost.summary.completed, least.summary.completed);
+        assert!(
+            cost.summary.p99_e2e_cycles <= least.summary.p99_e2e_cycles,
+            "cost-aware p99 {} > least-loaded p99 {}",
+            cost.summary.p99_e2e_cycles,
+            least.summary.p99_e2e_cycles
+        );
     }
 
     #[test]

@@ -269,6 +269,54 @@ fn check_queue_drill_summary_golden() {
     assert_matches_golden("queue_drill_quick.json", &json);
 }
 
+/// The heterogeneous-lineup queueing summary (a mixed ref/eco lineup
+/// under bursty traffic routed by the cost-model-driven `cost-aware`
+/// policy) must match its snapshot — pinning per-class cold
+/// preparation, per-class warm-savings pricing, the deterministic
+/// cost-model fit, and predicted-completion routing in one trace. The
+/// same cell must also beat (or match) class-blind least-loaded routing
+/// on p99 end-to-end latency: the acceptance gate of the lineup work.
+/// Called from the single env-touching test below for the same reason
+/// as [`check_serve_summary_golden`].
+fn check_queue_lineup_summary_golden() {
+    use sgcn::accel::AccelModel;
+    use sgcn::serving::queueing::{
+        feature_row_bytes, prepare_lineup, simulate_queue, EngineLineup, QueueConfig, SchedPolicy,
+        TrafficModel,
+    };
+    use sgcn::serving::{ServingConfig, ServingContext};
+
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts: sgcn_graph::sampling::Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.hotspot_stream(60, 10);
+    let lineup = EngineLineup::mixed(4, cfg.hw());
+    let prepared = prepare_lineup(&ctx, &stream, &AccelModel::sgcn(), &lineup);
+    let run = |policy| {
+        let qcfg = QueueConfig::new(4, policy, 0.8, cfg.seed)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_lineup(lineup.clone());
+        simulate_queue(&prepared, &qcfg, &cfg.hw(), feature_row_bytes(&ctx))
+    };
+    let least = run(SchedPolicy::LeastLoaded);
+    let cost = run(SchedPolicy::CostAware);
+    assert!(
+        cost.summary.p99_e2e_cycles <= least.summary.p99_e2e_cycles,
+        "cost-aware p99 {} must not lose to least-loaded p99 {} on the mixed lineup",
+        cost.summary.p99_e2e_cycles,
+        least.summary.p99_e2e_cycles
+    );
+    let json = cost
+        .summary
+        .to_json("PM fanout 10x5 SGCN x4 cost-aware bursty lineup-mixed");
+    assert_matches_golden("queue_lineup_quick.json", &json);
+}
+
 /// The full rendered quick suite must match the snapshot on both the
 /// default (fast) path and the `SGCN_NAIVE=1` seed-replay path, and the
 /// serving and queueing summaries must match their snapshots. Everything
@@ -287,6 +335,7 @@ fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
     check_queue_summary_golden();
     check_queue_slo_summary_golden();
     check_queue_drill_summary_golden();
+    check_queue_lineup_summary_golden();
 
     std::env::set_var("SGCN_NAIVE", "1");
     let naive = sgcn_bench::run_suite(&cfg, &datasets, true);

@@ -44,6 +44,8 @@ fn fab(index: usize, cycles: u64, feature_read_bytes: u64, vertices: Vec<u32>) -
             tdp_watts: 0.0,
             layers: Vec::new(),
         },
+        stats: Default::default(),
+        class_reports: Vec::new(),
     }
 }
 
