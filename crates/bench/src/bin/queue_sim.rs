@@ -35,6 +35,12 @@
 //!   `sweep` to run the lineup × routing-policy capacity planner and
 //!   write `BENCH_lineup.json` (`SGCN_LINEUP_OUT`) instead of a single
 //!   run (default: unset — legacy scalar fleet),
+//! * `SGCN_FORMATS` — per-request serving-format dispatch (needs
+//!   `SGCN_LINEUP`): `fixed:<format>` pins every request to one palette
+//!   format, `adaptive` lets the cost model pick `(engine, format)` per
+//!   request, `sweep` runs every fixed format plus adaptive and writes
+//!   `BENCH_format.json` (`SGCN_FORMAT_OUT`) with an "adaptive vs best
+//!   fixed p99" verdict (default: unset — native format),
 //! * `SGCN_HOTSPOT` — hot-seed pool size, 0 = uniform traffic
 //!   (default `requests / 6`),
 //! * `SGCN_FAULTS` — failure drill: `none` / `mtbf[:M,R[,K]]` /
@@ -48,12 +54,16 @@
 //! * `SGCN_TRACE_REPLAY` — replay a recorded arrival trace from this
 //!   path instead of generating traffic,
 //! * `SGCN_QUICK=1` — test-scale graph, `SGCN_QUEUE_OUT` — output path.
+//!
+//! Every enum-valued knob is strict: an unknown value aborts with a
+//! message listing the valid spellings (silent fallbacks would make a
+//! typo'd CI matrix cell silently re-run the default scenario).
 
 use sgcn::accel::AccelModel;
 use sgcn::serving::queueing::{
-    feature_row_bytes, prepare_lineup, run_queue, simulate_queue, ArrivalTrace, EngineLineup,
-    FailureModel, FleetSpec, QueueConfig, QueueSummary, RetryPolicy, ScalePolicy, SchedPolicy,
-    SloConfig, TrafficModel,
+    feature_row_bytes, prepare_lineup, prepare_matrix, run_queue, simulate_queue, ArrivalTrace,
+    EngineLineup, FailureModel, FleetSpec, FormatPolicy, QueueConfig, QueueSummary, RetryPolicy,
+    ScalePolicy, SchedPolicy, ServeFormat, SloConfig, TrafficModel,
 };
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn_bench::{banner, experiment_config};
@@ -66,6 +76,22 @@ fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
+
+/// Parses an enum-valued knob, aborting on unknown values with the list
+/// of valid spellings — never a silent fallback.
+fn knob<T>(key: &str, value: &str, valid: &str, parse: impl FnOnce(&str) -> Option<T>) -> T {
+    parse(value).unwrap_or_else(|| panic!("unknown {key} {value:?} — valid values: {valid}"))
+}
+
+/// Valid spellings per knob, surfaced verbatim in abort messages.
+const POLICY_VALUES: &str = "fifo, least, affinity, slo, cost";
+const TRAFFIC_VALUES: &str = "exp, bursty, diurnal, closed[:CLIENTS]";
+const FLEET_VALUES: &str =
+    "uniform, steal, mixed, mixed-steal, or a comma-separated scale list (optionally +steal)";
+const LINEUP_VALUES: &str = "uniform, eco, mixed (each optionally +steal), or sweep";
+const FAULTS_VALUES: &str = "none, mtbf[:MTBF,MTTR[,KILLED]], script:ENGINE@DOWN+DUR;...";
+const RETRY_VALUES: &str = "ATTEMPTS[:BACKOFF_CYCLES]";
+const AUTOSCALE_VALUES: &str = "none, auto[:MIN[:PROVISION_CYCLES]]";
 
 /// The lineup × routing-policy capacity planner behind
 /// `BENCH_lineup.json`: uniform vs mixed hardware lineups × {least-
@@ -182,6 +208,133 @@ fn lineup_sweep(requests: usize, engines: usize, load: f64, hotspot: usize) {
     println!("wrote {path}");
 }
 
+/// The serving-format dispatch planner behind `BENCH_format.json`:
+/// every fixed palette format plus adaptive per-request dispatch on the
+/// **mixed** lineup, routed `cost-aware` under bursty traffic. One
+/// `(class, format)` matrix preparation is shared by every cell. The
+/// verdict compares adaptive's p99 against the best single fixed
+/// format — the paper's Fig. 3 claim ("format choice dominates cost")
+/// turned into an online scheduling win. Every byte of the JSON is a
+/// pure function of `(stream, knobs)`.
+fn format_sweep(requests: usize, engines: usize, load: f64, hotspot: usize) {
+    let cfg = experiment_config();
+    let hw = cfg.hw();
+    let fanouts = Fanouts::new(vec![10, 5]);
+    let label = format!(
+        "{} fanout {} SGCN x{engines} format sweep mixed cost-aware bursty load {load:.2}",
+        DatasetId::PubMed.abbrev(),
+        fanouts.label()
+    );
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts,
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = if hotspot == 0 {
+        ctx.request_stream(requests)
+    } else {
+        ctx.hotspot_stream(requests, hotspot)
+    };
+    let lineup = EngineLineup::mixed(engines, hw);
+    let policies: Vec<FormatPolicy> = ServeFormat::PALETTE
+        .iter()
+        .map(|&f| FormatPolicy::Fixed(f))
+        .chain(std::iter::once(FormatPolicy::Adaptive))
+        .collect();
+    let t0 = std::time::Instant::now();
+    // One (class, format) matrix preparation (the only parallel stage)
+    // serves every policy cell.
+    let prepared = prepare_matrix(
+        &ctx,
+        &stream,
+        &AccelModel::sgcn(),
+        &lineup,
+        &ServeFormat::PALETTE,
+    );
+    let row_bytes = feature_row_bytes(&ctx);
+    let mut cells: Vec<(String, QueueSummary)> = Vec::new();
+    for policy in &policies {
+        let qcfg = QueueConfig::new(engines, SchedPolicy::CostAware, load, cfg.seed)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_lineup(lineup.clone())
+            .with_format(*policy);
+        let s = simulate_queue(&prepared, &qcfg, &hw, row_bytes).summary;
+        println!(
+            "  {:>20}: p50e {:>9} / p99e {:>9} cycles, warm {:>5.1}%, pred err {:>5.2}%",
+            policy.label(),
+            s.p50_e2e_cycles,
+            s.p99_e2e_cycles,
+            s.warm_hit_rate * 100.0,
+            s.format_pred_err * 100.0
+        );
+        cells.push((policy.label(), s));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let (adaptive_label, adaptive) = cells.last().expect("the sweep has an adaptive cell");
+    let best_fixed = cells[..cells.len() - 1]
+        .iter()
+        .min_by(|a, b| {
+            (a.1.p99_e2e_cycles, a.1.makespan_cycles)
+                .cmp(&(b.1.p99_e2e_cycles, b.1.makespan_cycles))
+        })
+        .expect("the sweep has fixed cells");
+    let wins = adaptive.p99_e2e_cycles <= best_fixed.1.p99_e2e_cycles;
+    println!(
+        "verdict:         {adaptive_label} p99 {} vs best fixed ({}) p99 {} — adaptive {}",
+        adaptive.p99_e2e_cycles,
+        best_fixed.0,
+        best_fixed.1.p99_e2e_cycles,
+        if wins { "wins (<=)" } else { "LOSES" }
+    );
+    println!(
+        "host replay:     {wall:.2}s wall ({} cells on {} thread(s))",
+        cells.len(),
+        sgcn_par::threads()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"engines\": {engines},\n"));
+    json.push_str(&format!("  \"offered_load\": {load:.6},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, (policy, s)) in cells.iter().enumerate() {
+        let dispatch: Vec<String> = s
+            .format_dispatch
+            .iter()
+            .map(|(f, c)| format!("\"{f}\": {c}"))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"format_policy\": \"{policy}\", \"completed\": {}, \
+             \"p50_e2e_cycles\": {}, \"p99_e2e_cycles\": {}, \"makespan_cycles\": {}, \
+             \"utilization\": {:.6}, \"warm_hit_rate\": {:.6}, \"format_pred_err\": {:.6}, \
+             \"format_dispatch\": {{{}}}}}{}\n",
+            s.completed,
+            s.p50_e2e_cycles,
+            s.p99_e2e_cycles,
+            s.makespan_cycles,
+            s.utilization,
+            s.warm_hit_rate,
+            s.format_pred_err,
+            dispatch.join(", "),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"verdict\": {{\"adaptive_p99_e2e_cycles\": {}, \"best_fixed\": \"{}\", \
+         \"best_fixed_p99_e2e_cycles\": {}, \"adaptive_beats_best_fixed\": {}}}\n",
+        adaptive.p99_e2e_cycles, best_fixed.0, best_fixed.1.p99_e2e_cycles, wins
+    ));
+    json.push_str("}\n");
+    let path = std::env::var("SGCN_FORMAT_OUT").unwrap_or_else(|_| "BENCH_format.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_format.json");
+    println!("wrote {path}");
+}
+
 fn main() {
     banner("BENCH_queue harness (online queueing, multi-engine co-scheduling)");
     let cfg = experiment_config();
@@ -190,41 +343,64 @@ fn main() {
     let engines: usize = env_parse("SGCN_ENGINES", 4);
     let policy = std::env::var("SGCN_POLICY")
         .ok()
-        .map(|v| SchedPolicy::parse(&v).unwrap_or_else(|| panic!("unknown SGCN_POLICY {v:?}")))
+        .map(|v| knob("SGCN_POLICY", &v, POLICY_VALUES, SchedPolicy::parse))
         .unwrap_or(SchedPolicy::CacheAffinity);
     let traffic = std::env::var("SGCN_TRAFFIC")
         .ok()
-        .map(|v| TrafficModel::parse(&v).unwrap_or_else(|| panic!("unknown SGCN_TRAFFIC {v:?}")))
+        .map(|v| knob("SGCN_TRAFFIC", &v, TRAFFIC_VALUES, TrafficModel::parse))
         .unwrap_or(TrafficModel::Exponential);
     let slo_cycles: u64 = env_parse("SGCN_SLO_CYCLES", 0);
     let fleet = std::env::var("SGCN_FLEET")
         .ok()
         .map(|v| {
-            FleetSpec::parse(&v, engines)
-                .unwrap_or_else(|| panic!("bad SGCN_FLEET {v:?} for {engines} engines"))
+            knob("SGCN_FLEET", &v, FLEET_VALUES, |v| {
+                FleetSpec::parse(v, engines)
+            })
         })
         .unwrap_or_else(|| FleetSpec::uniform(engines));
     let hotspot: usize = env_parse("SGCN_HOTSPOT", (requests / 6).max(1));
     let lineup_spec = std::env::var("SGCN_LINEUP").ok();
+    let format_spec = std::env::var("SGCN_FORMATS").ok();
+    if format_spec.as_deref().map(str::trim) == Some("sweep") {
+        format_sweep(requests, engines, load, hotspot);
+        return;
+    }
+    let format = format_spec
+        .map(|v| {
+            knob(
+                "SGCN_FORMATS",
+                &v,
+                &format!("{}, sweep", FormatPolicy::valid_values()),
+                FormatPolicy::parse,
+            )
+        })
+        .unwrap_or_default();
+    if format != FormatPolicy::default() && lineup_spec.is_none() {
+        panic!(
+            "SGCN_FORMATS={} needs a hardware lineup — set SGCN_LINEUP ({LINEUP_VALUES})",
+            format.label()
+        );
+    }
     if lineup_spec.as_deref().map(str::trim) == Some("sweep") {
         lineup_sweep(requests, engines, load, hotspot);
         return;
     }
     let lineup = lineup_spec.map(|v| {
-        EngineLineup::parse(&v, engines, cfg.hw())
-            .unwrap_or_else(|| panic!("bad SGCN_LINEUP {v:?} for {engines} engines"))
+        knob("SGCN_LINEUP", &v, LINEUP_VALUES, |v| {
+            EngineLineup::parse(v, engines, cfg.hw())
+        })
     });
     let faults = std::env::var("SGCN_FAULTS")
         .ok()
-        .map(|v| FailureModel::parse(&v).unwrap_or_else(|| panic!("bad SGCN_FAULTS {v:?}")))
+        .map(|v| knob("SGCN_FAULTS", &v, FAULTS_VALUES, FailureModel::parse))
         .unwrap_or(FailureModel::None);
     let retry = std::env::var("SGCN_RETRIES")
         .ok()
-        .map(|v| RetryPolicy::parse(&v).unwrap_or_else(|| panic!("bad SGCN_RETRIES {v:?}")))
+        .map(|v| knob("SGCN_RETRIES", &v, RETRY_VALUES, RetryPolicy::parse))
         .unwrap_or_default();
     let autoscale = std::env::var("SGCN_AUTOSCALE")
         .ok()
-        .map(|v| ScalePolicy::parse(&v).unwrap_or_else(|| panic!("bad SGCN_AUTOSCALE {v:?}")))
+        .map(|v| knob("SGCN_AUTOSCALE", &v, AUTOSCALE_VALUES, ScalePolicy::parse))
         .unwrap_or(None);
     let replay = std::env::var("SGCN_TRACE_REPLAY").ok().map(|path| {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
@@ -242,6 +418,9 @@ fn main() {
             .as_ref()
             .map_or_else(|| fleet.label(), EngineLineup::label)
     );
+    if format != FormatPolicy::default() {
+        label = format!("{label} {}", format.label());
+    }
     if !faults.is_none() || autoscale.is_some() {
         label = format!(
             "{label} {} {} {}",
@@ -269,7 +448,8 @@ fn main() {
         .with_traffic(traffic)
         .with_fleet(fleet)
         .with_faults(faults)
-        .with_retry(retry);
+        .with_retry(retry)
+        .with_format(format);
     if let Some(lineup) = lineup {
         qcfg = qcfg.with_lineup(lineup);
     }
@@ -329,6 +509,20 @@ fn main() {
         s.warm_lines,
         s.warm_hit_rate * 100.0
     );
+    if s.format_policy != "fixed:native" {
+        let parts: Vec<String> = s
+            .format_dispatch
+            .iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(f, c)| format!("{f} {c}"))
+            .collect();
+        println!(
+            "format dispatch: {} — {} (pred err {:.2}%)",
+            s.format_policy,
+            parts.join(", "),
+            s.format_pred_err * 100.0
+        );
+    }
     if s.faults != "none" || s.autoscale != "none" {
         println!(
             "drills:          faults {} — {} incidents, {} retries, {} failed ({:.1}%)",

@@ -183,15 +183,16 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
 
     // Online queueing scenario: the same sampled-request serving path put
     // behind live traffic with multi-engine co-scheduling (`queue_sim` is
-    // the full-stream harness). All five grids share one prepared
+    // the full-stream harness). All seven grids share one prepared
     // stream — the preparation is traffic/policy/load/fleet independent:
     // policy × offered load, engine-count scaling, traffic model × policy
     // under an SLO deadline (bursty/diurnal/closed-loop arrivals with
     // load shedding), the heterogeneous-fleet / work-stealing lineup,
     // the hardware lineup × routing-policy capacity planner (per-engine
-    // accelerator models with cost-model dispatch), and the failure
-    // drills (fault intensity × policy × retry budget with elastic
-    // autoscaling).
+    // accelerator models with cost-model dispatch), the serving-format
+    // dispatch sweep (fixed palette formats vs adaptive per-request
+    // choice), and the failure drills (fault intensity × policy × retry
+    // budget with elastic autoscaling).
     let queue_requests = if quick { 36 } else { 192 };
     let grids = exp::queueing_grids(
         cfg,
@@ -207,6 +208,7 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     writeln!(out, "{}", grids.traffic).unwrap();
     writeln!(out, "{}", grids.fleet).unwrap();
     writeln!(out, "{}", grids.lineup).unwrap();
+    writeln!(out, "{}", grids.format).unwrap();
     writeln!(out, "{}", grids.failure).unwrap();
     out
 }

@@ -287,6 +287,19 @@ impl AccelModel {
     pub fn simulate(&self, workload: &Workload, hw: &HwConfig) -> SimReport {
         sim::run(self, workload, hw)
     }
+
+    /// Runs this model with the intermediate-feature storage overridden
+    /// to `kind` (compute stays dense; only traffic changes — the same
+    /// semantics as the Fig. 3 format study). `None` is exactly
+    /// [`AccelModel::simulate`].
+    pub fn simulate_with_format(
+        &self,
+        workload: &Workload,
+        hw: &HwConfig,
+        kind: Option<sgcn_formats::FormatKind>,
+    ) -> SimReport {
+        sim::run_with_format_override(self, workload, hw, kind)
+    }
 }
 
 #[cfg(test)]

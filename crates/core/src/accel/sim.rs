@@ -437,6 +437,25 @@ pub fn run_format_study(
     run_with_format_override(&model, workload, hw, Some(kind))
 }
 
+/// Pre-encodes one boundary matrix in a study format into the workload's
+/// shared [`FormatCache`], so later per-class × per-format simulations
+/// (and their parallel `prepare_matrix` callers) hit the cache instead
+/// of re-encoding. Dense borrows the trace matrix directly and never
+/// needs caching; callers skip it.
+pub(crate) fn precache_boundary_kind(
+    workload: &Workload,
+    b: usize,
+    kind: sgcn_formats::FormatKind,
+) {
+    debug_assert!(!matches!(kind, sgcn_formats::FormatKind::Dense));
+    let x = workload.trace.layer_features(b);
+    workload
+        .format_cache
+        .get_or_build(FormatKey::Kind(b, kind), || {
+            CachedFormat::Generic(encode_kind(kind, x))
+        });
+}
+
 pub(crate) fn run_with_format_override(
     model: &AccelModel,
     workload: &Workload,

@@ -1208,7 +1208,7 @@ type QueueingSetup = (
     Vec<crate::serving::queueing::PreparedRequest>,
 );
 
-/// The six queueing grids of the full suite, rendered off one shared
+/// The seven queueing grids of the full suite, rendered off one shared
 /// preparation.
 pub struct QueueingGrids {
     /// Policy × offered-load sweep.
@@ -1222,16 +1222,19 @@ pub struct QueueingGrids {
     /// Hardware lineup × routing-policy sweep (per-engine accelerator
     /// models with cost-model dispatch).
     pub lineup: Grid,
+    /// Format-dispatch sweep: fixed palette formats vs adaptive
+    /// per-request format choice on the mixed lineup.
+    pub format: Grid,
     /// Failure-drill sweep: fault intensity × policy × retry budget.
     pub failure: Grid,
 }
 
-/// Renders all six queueing grids (policy × offered-load sweep,
+/// Renders all seven queueing grids (policy × offered-load sweep,
 /// engine-count sweep, traffic-mix × policy SLO sweep, fleet sweep,
-/// hardware-lineup sweep, failure-drill sweep) off one shared
-/// preparation — what the full suite calls, since the expensive half
-/// (sampling + cold simulation of the stream) is identical for every
-/// sweep cell of every grid.
+/// hardware-lineup sweep, format-dispatch sweep, failure-drill sweep)
+/// off one shared preparation — what the full suite calls, since the
+/// expensive half (sampling + cold simulation of the stream) is
+/// identical for every sweep cell of every grid.
 #[allow(clippy::too_many_arguments)]
 pub fn queueing_grids(
     cfg: &ExperimentConfig,
@@ -1249,6 +1252,7 @@ pub fn queueing_grids(
         traffic: queueing_traffic_sweep_prepared(cfg, id, engines, load, requests, &setup),
         fleet: queueing_fleet_sweep_prepared(cfg, id, engines, load, requests, &setup),
         lineup: queueing_lineup_sweep_prepared(cfg, id, engines, load, requests, &setup),
+        format: queueing_format_sweep_prepared(cfg, id, engines, load, requests, &setup),
         failure: queueing_failure_sweep_prepared(cfg, id, engines, load, requests, &setup),
     }
 }
@@ -1636,6 +1640,95 @@ fn queueing_lineup_sweep_prepared(
             grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
             grid.set(&row, "cost", s.cost_units);
         }
+    }
+    grid
+}
+
+/// Per-request format dispatch (the paper's Fig. 3 axis turned into a
+/// serving decision): serving-format policy × the mixed hardware lineup
+/// under bursty traffic, all routed `cost-aware`. Each fixed row pins
+/// every request to one palette format; the `adaptive` row lets the
+/// cost model pick the `(engine, format)` pair with the smallest
+/// predicted completion per request. Rows are the format-policy labels;
+/// columns report p50 / p99 end-to-end latency (kilocycles), makespan
+/// (kilocycles), warm-hit rate (%), and the dispatcher's mean relative
+/// prediction error (%) — the "does adaptive beat the best single
+/// format?" view.
+pub fn queueing_format_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+) -> Grid {
+    queueing_format_sweep_prepared(
+        cfg,
+        id,
+        engines,
+        load,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_format_sweep`] off a shared setup. Format cells need the
+/// full `(class, format)` cold-report matrix, so the stream is
+/// re-prepared once with [`crate::serving::queueing::prepare_matrix`]
+/// over the whole palette; every policy row replays that one
+/// preparation.
+fn queueing_format_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{
+        feature_row_bytes, prepare_matrix, simulate_queue, EngineLineup, FormatPolicy, QueueConfig,
+        SchedPolicy, ServeFormat, TrafficModel,
+    };
+
+    let cols: Vec<String> = ["p50e(kc)", "p99e(kc)", "mksp(kc)", "warm%", "err%"]
+        .map(String::from)
+        .to_vec();
+    let hw = cfg.hw();
+    let lineup = EngineLineup::mixed(engines, hw);
+    let policies: Vec<FormatPolicy> = ServeFormat::PALETTE
+        .iter()
+        .map(|&f| FormatPolicy::Fixed(f))
+        .chain(std::iter::once(FormatPolicy::Adaptive))
+        .collect();
+    let rows: Vec<String> = policies.iter().map(FormatPolicy::label).collect();
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: serving-format policy on the mixed lineup on {} (cost-aware, bursty, load {load:.2}, {requests} requests, {engines} engines)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let stream = setup.0.hotspot_stream(requests, (requests / 6).max(2));
+    let prepared = prepare_matrix(
+        &setup.0,
+        &stream,
+        &AccelModel::sgcn(),
+        &lineup,
+        &ServeFormat::PALETTE,
+    );
+    let row_bytes = feature_row_bytes(&setup.0);
+    for policy in &policies {
+        let row = policy.label();
+        let qcfg = QueueConfig::new(engines, SchedPolicy::CostAware, load, cfg.seed)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_lineup(lineup.clone())
+            .with_format(*policy);
+        let s = simulate_queue(&prepared, &qcfg, &hw, row_bytes).summary;
+        grid.set(&row, "p50e(kc)", s.p50_e2e_cycles as f64 / 1e3);
+        grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
+        grid.set(&row, "mksp(kc)", s.makespan_cycles as f64 / 1e3);
+        grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
+        grid.set(&row, "err%", s.format_pred_err * 100.0);
     }
     grid
 }

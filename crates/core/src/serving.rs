@@ -245,6 +245,28 @@ impl ServingContext {
         }
     }
 
+    /// [`Self::build_workload_from`] plus boundary pre-encoding for a
+    /// serving-format palette: every non-native palette format is
+    /// encoded once into the workload's Arc'd [`FormatCache`], so the
+    /// per-(class, format) cold simulations that follow (one per lineup
+    /// class × palette entry) share the encodings instead of rebuilding
+    /// them. A `[Native]` (or empty) palette degenerates to exactly
+    /// [`Self::build_workload_from`].
+    pub fn build_workload_formats(
+        &self,
+        request: &Request,
+        sub: SampledSubgraph,
+        palette: &[queueing::ServeFormat],
+    ) -> Workload {
+        let wl = self.build_workload_from(request, sub);
+        let kinds: Vec<sgcn_formats::FormatKind> = palette
+            .iter()
+            .filter_map(queueing::ServeFormat::override_kind)
+            .collect();
+        wl.precache_boundary_formats(&kinds);
+        wl
+    }
+
     /// Serves one request on one accelerator.
     pub fn serve(&self, request: &Request, model: &AccelModel, hw: &HwConfig) -> RequestReport {
         let wl = self.build_workload(request);

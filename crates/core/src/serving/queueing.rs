@@ -96,18 +96,37 @@
 //!   cold service **per class** in the parallel phase, and warm-savings
 //!   pricing uses each class's own `effective_bw`/`line_bytes`.
 //!
-//! The `cost-aware` policy routes on a [`CostModel`]: per-class linear
+//! The `cost-aware` policy routes on a [`CostModel`]: per-cell linear
 //!   predictors of service cycles from subgraph stats
 //!   ([`RequestStats`]: vertices, edges, sparsity, feature bytes),
 //!   fitted deterministically from the prepared cold reports. The
 //!   dispatcher picks the engine minimizing predicted completion
 //!   (projected wait + predicted service), falling back to
 //!   least-loaded order (then engine id) on ties.
+//!
+//! # Per-request format dispatch
+//!
+//! The unit of dispatch is a **`(hardware class, format)` pair**:
+//! [`prepare_matrix`] simulates every request's cold service over the
+//! full class × [`ServeFormat`] palette (one workload build per distinct
+//! vertex; boundary encodings are built once and shared across every
+//! cell through the workload's format cache), and a [`FormatPolicy`]
+//! picks each request's serving format at assignment time —
+//! `fixed:<format>` pins one palette column, `adaptive` serves each
+//! request in the format minimizing its predicted service on the engine
+//! the scheduling policy picked (under `cost-aware`, engines × formats
+//! are minimized jointly). The [`CostModel`] is keyed by the same
+//! `(class, format)` cells: exact training-point memo first, per-cell
+//! ridge regression for unseen stats. The chosen format is recorded per
+//! request ([`RequestTiming::format`]) and summarized as per-format
+//! dispatch counts plus the routing prediction's relative error. The
+//! default `fixed:native` palette-of-one reproduces the single-format
+//! pipeline byte for byte.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use sgcn_formats::LineRun;
+use sgcn_formats::{FormatKind, LineRun};
 use sgcn_mem::{CacheConfig, MemorySystem, SpanCounts, Traffic};
 use sgcn_par::par_map;
 
@@ -458,6 +477,120 @@ impl EngineLineup {
     }
 }
 
+/// One entry of a serving format palette: the storage format a request's
+/// boundary features are simulated (and served) in. `Native` is the
+/// model's own storage — SGCN's sliced BEICSR with its sparse-aware lane
+/// work — i.e. the legacy single-format pipeline; a `Kind` forces a
+/// Fig. 3 study format through the same override seam as the offline
+/// format study (compute stays dense, only traffic changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeFormat {
+    /// The model's native storage (no override).
+    Native,
+    /// A forced study format.
+    Kind(FormatKind),
+}
+
+impl ServeFormat {
+    /// The standard serving palette, native first (palette index 0 —
+    /// the calibration column): the formats [`prepare_matrix`]
+    /// simulates by default and [`FormatPolicy::parse`] accepts.
+    pub const PALETTE: [ServeFormat; 6] = [
+        ServeFormat::Native,
+        ServeFormat::Kind(FormatKind::Dense),
+        ServeFormat::Kind(FormatKind::Csr),
+        ServeFormat::Kind(FormatKind::Bsr),
+        ServeFormat::Kind(FormatKind::BlockedEllpack),
+        ServeFormat::Kind(FormatKind::Beicsr),
+    ];
+
+    /// Display label (stable — appears in golden snapshots and JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeFormat::Native => "native",
+            ServeFormat::Kind(FormatKind::Dense) => "dense",
+            ServeFormat::Kind(FormatKind::Csr) => "csr",
+            ServeFormat::Kind(FormatKind::Coo) => "coo",
+            ServeFormat::Kind(FormatKind::Bsr) => "bsr",
+            ServeFormat::Kind(FormatKind::BlockedEllpack) => "blocked-ellpack",
+            ServeFormat::Kind(FormatKind::BeicsrNonSliced) => "beicsr-nonsliced",
+            ServeFormat::Kind(FormatKind::Beicsr) => "beicsr",
+            ServeFormat::Kind(FormatKind::SeparateBitmap) => "separate-bitmap",
+            ServeFormat::Kind(FormatKind::PackedBeicsr) => "packed-beicsr",
+        }
+    }
+
+    /// Parses a standard-palette entry name; `None` for unknown names
+    /// or kinds outside [`Self::PALETTE`].
+    pub fn parse(name: &str) -> Option<ServeFormat> {
+        let name = name.trim().to_ascii_lowercase();
+        Self::PALETTE.iter().copied().find(|f| f.label() == name)
+    }
+
+    /// The format override the accelerator simulation runs under.
+    pub fn override_kind(&self) -> Option<FormatKind> {
+        match self {
+            ServeFormat::Native => None,
+            ServeFormat::Kind(k) => Some(*k),
+        }
+    }
+}
+
+/// How the dispatcher picks each request's serving format from the
+/// prepared palette.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatPolicy {
+    /// Every request serves in one fixed palette format. The default —
+    /// `fixed:native` — reproduces the single-format pipeline byte for
+    /// byte.
+    Fixed(ServeFormat),
+    /// Per-request adaptive dispatch: on the engine the scheduling
+    /// policy picked, serve in the palette format minimizing the
+    /// predicted service; under `cost-aware` the engine × format pair
+    /// minimizing predicted completion wins. Ties go to the lowest
+    /// palette index (native first in the standard palette).
+    Adaptive,
+}
+
+impl Default for FormatPolicy {
+    fn default() -> Self {
+        FormatPolicy::Fixed(ServeFormat::Native)
+    }
+}
+
+impl FormatPolicy {
+    /// Display label (stable — appears in summaries and JSON):
+    /// `fixed:<format>` or `adaptive`.
+    pub fn label(&self) -> String {
+        match self {
+            FormatPolicy::Fixed(f) => format!("fixed:{}", f.label()),
+            FormatPolicy::Adaptive => "adaptive".to_string(),
+        }
+    }
+
+    /// The valid `SGCN_FORMATS`-style spellings — error-message
+    /// material for knob parsers.
+    pub fn valid_values() -> String {
+        let fixed: Vec<String> = ServeFormat::PALETTE
+            .iter()
+            .map(|f| format!("fixed:{}", f.label()))
+            .collect();
+        format!("{}, adaptive", fixed.join(", "))
+    }
+
+    /// Parses an `SGCN_FORMATS`-style spec (`fixed:<format>` — the
+    /// `fixed:` prefix is optional — or `adaptive`); `None` for unknown
+    /// names.
+    pub fn parse(spec: &str) -> Option<FormatPolicy> {
+        let spec = spec.trim().to_ascii_lowercase();
+        if spec == "adaptive" {
+            return Some(FormatPolicy::Adaptive);
+        }
+        let name = spec.strip_prefix("fixed:").unwrap_or(spec.as_str());
+        ServeFormat::parse(name).map(FormatPolicy::Fixed)
+    }
+}
+
 /// Subgraph statistics of one prepared request — the feature vector the
 /// [`CostModel`] predicts service time from.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -484,29 +617,34 @@ fn cost_features(stats: &RequestStats) -> [f64; 5] {
     ]
 }
 
-/// One hardware class's fitted predictor.
+/// One `(class, format)` cell's fitted predictor.
 #[derive(Debug, Clone, PartialEq)]
 enum ClassFit {
     /// Ridge-regularized least squares over column-normalized
     /// [`cost_features`].
     Linear { scale: [f64; 5], w: [f64; 5] },
     /// Degenerate fit (empty stream or singular system): predict the
-    /// class's mean cold service.
+    /// cell's mean cold service.
     Mean(f64),
 }
 
-/// Per-class service-time predictors fitted deterministically from a
-/// prepared stream's cold reports: an exact lookup over the training
-/// stats (requests whose stats were seen during fitting predict their
-/// measured per-class cold cycles) backed by a ridge-regularized linear
-/// regression for unseen stats. Predictions are pure in
-/// `(RequestStats, class)` — fitting is a serial fold in stream order
-/// with no floating-point reassociation, so the same stream always
-/// yields the same model.
+/// Per-`(class, format)` service-time predictors fitted
+/// deterministically from a prepared stream's cold reports: an exact
+/// lookup over the training stats (requests whose stats were seen
+/// during fitting predict their measured per-cell cold cycles) backed
+/// by a ridge-regularized linear regression per cell for unseen stats.
+/// Cells are row-major by class (`class * formats() + format`), matching
+/// [`PreparedRequest::class_reports`]; the legacy single-format fit is
+/// the `formats() == 1` case where a cell *is* a class. Predictions are
+/// pure in `(RequestStats, cell)` — fitting is a serial fold in stream
+/// order with no floating-point reassociation, so the same stream
+/// always yields the same model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     fits: Vec<ClassFit>,
-    /// Exact per-class cold cycles keyed by the training stats (mean
+    /// Palette width the cells are strided by.
+    formats: usize,
+    /// Exact per-cell cold cycles keyed by the training stats (mean
     /// over colliding stats, accumulated in stream order). Routing on
     /// the serving stream itself — the common case, since the model is
     /// fitted from the very stream it prices — hits this table and
@@ -525,19 +663,25 @@ fn stats_key(stats: &RequestStats) -> [u64; 4] {
 }
 
 impl CostModel {
-    /// Fits one predictor per hardware class from the prepared cold
-    /// reports (`class_reports[k]` when present, the reference report
-    /// otherwise). Ridge regularization keeps the normal equations
-    /// solvable despite collinear features (feature bytes are an exact
-    /// multiple of vertices); a singular system falls back to the class
-    /// mean.
+    /// Fits one predictor per `(class, format)` cell from the prepared
+    /// cold reports (`class_reports[cell]` when present, the reference
+    /// report otherwise; the palette width comes from the prepared
+    /// stream — 1 for legacy single-format streams). Ridge
+    /// regularization keeps the normal equations solvable despite
+    /// collinear features (feature bytes are an exact multiple of
+    /// vertices); a singular system falls back to the cell mean.
     pub fn fit(prepared: &[PreparedRequest], classes: usize) -> CostModel {
         let classes = classes.max(1);
-        let fits = (0..classes)
-            .map(|k| {
+        let formats = prepared.first().map_or(1, PreparedRequest::format_count);
+        let cells = classes * formats;
+        let cell_cycles = |p: &PreparedRequest, cell: usize| {
+            p.class_reports.get(cell).unwrap_or(&p.report).cycles
+        };
+        let fits = (0..cells)
+            .map(|cell| {
                 let targets: Vec<f64> = prepared
                     .iter()
-                    .map(|p| p.class_reports.get(k).unwrap_or(&p.report).cycles as f64)
+                    .map(|p| cell_cycles(p, cell) as f64)
                     .collect();
                 Self::fit_class(prepared, &targets)
             })
@@ -550,9 +694,9 @@ impl CostModel {
         for p in prepared {
             let e = acc
                 .entry(stats_key(&p.stats))
-                .or_insert_with(|| (vec![0; classes], 0));
-            for (sum, k) in e.0.iter_mut().zip(0..classes) {
-                *sum += p.class_reports.get(k).unwrap_or(&p.report).cycles;
+                .or_insert_with(|| (vec![0; cells], 0));
+            for (sum, cell) in e.0.iter_mut().zip(0..cells) {
+                *sum += cell_cycles(p, cell);
             }
             e.1 += 1;
         }
@@ -560,7 +704,11 @@ impl CostModel {
             .into_iter()
             .map(|(key, (sums, n))| (key, sums.iter().map(|s| (s / n).max(1)).collect()))
             .collect();
-        CostModel { fits, memo }
+        CostModel {
+            fits,
+            formats,
+            memo,
+        }
     }
 
     fn fit_class(prepared: &[PreparedRequest], targets: &[f64]) -> ClassFit {
@@ -579,12 +727,29 @@ impl CostModel {
                 }
             }
         }
+        // A constant feature column (every request sharing one sparsity
+        // is the common case in fabricated streams) carries no signal
+        // and is collinear with the intercept: normalized it is either
+        // all-zero or a duplicate of the all-ones column, leaving the
+        // normal equations singular up to the ridge and the solved
+        // weights ill-conditioned. Drop such columns — zero their
+        // entries so their weight solves to exactly 0 (the intercept
+        // absorbs the constant contribution) and an unseen stats
+        // vector's value in a dead column cannot perturb predictions.
+        // The intercept (index 0) is the one constant column that stays.
+        let first = cost_features(&prepared[0].stats);
+        let mut dead = [false; 5];
+        for (j, dead_j) in dead.iter_mut().enumerate().skip(1) {
+            *dead_j = prepared
+                .iter()
+                .all(|p| cost_features(&p.stats)[j] == first[j]);
+        }
         let mut a = [[0.0f64; 5]; 5];
         let mut b = [0.0f64; 5];
         for (p, &t) in prepared.iter().zip(targets) {
             let mut x = cost_features(&p.stats);
-            for (v, s) in x.iter_mut().zip(scale) {
-                *v /= s;
+            for ((v, s), kill) in x.iter_mut().zip(scale).zip(dead) {
+                *v = if kill { 0.0 } else { *v / s };
             }
             for i in 0..5 {
                 for j in 0..5 {
@@ -603,20 +768,29 @@ impl CostModel {
         }
     }
 
-    /// Number of fitted classes.
+    /// Number of fitted hardware classes.
     pub fn classes(&self) -> usize {
-        self.fits.len()
+        self.fits.len() / self.formats
     }
 
-    /// Predicted cold service cycles of a request on the given class
-    /// (clamped to ≥ 1; out-of-range classes use class 0): the exact
-    /// training-point lookup when the stats were seen during fitting,
-    /// the regression otherwise.
-    pub fn predict_cycles(&self, class: usize, stats: &RequestStats) -> u64 {
+    /// Palette width the `(class, format)` cells are strided by (1 for
+    /// a legacy single-format fit).
+    pub fn formats(&self) -> usize {
+        self.formats
+    }
+
+    /// Predicted cold service cycles of a request on the given
+    /// `(class, format)` cell — `class * formats() + format`; a legacy
+    /// single-format fit's cell index *is* its class index. Clamped to
+    /// ≥ 1; out-of-range cells fall back (the memo clamps to its last
+    /// cell, the regression to cell 0). The exact training-point lookup
+    /// answers when the stats were seen during fitting, the cell
+    /// regression otherwise.
+    pub fn predict_cycles(&self, cell: usize, stats: &RequestStats) -> u64 {
         if let Some(cycles) = self.memo.get(&stats_key(stats)) {
-            return cycles[class.min(cycles.len() - 1)];
+            return cycles[cell.min(cycles.len() - 1)];
         }
-        let fit = self.fits.get(class).unwrap_or(&self.fits[0]);
+        let fit = self.fits.get(cell).unwrap_or(&self.fits[0]);
         let y = match fit {
             ClassFit::Linear { scale, w } => {
                 let x = cost_features(stats);
@@ -718,6 +892,11 @@ pub struct QueueConfig {
     /// from `traffic`. The recorded traffic label is reported in the
     /// summary, so a faithful replay renders byte-identical JSON.
     pub trace: Option<ArrivalTrace>,
+    /// Per-request serving-format policy (default: `fixed:native`, the
+    /// single-format pipeline). Non-native fixed formats and adaptive
+    /// dispatch need a stream prepared over a palette covering the
+    /// formats in play ([`prepare_matrix`]).
+    pub format: FormatPolicy,
 }
 
 impl QueueConfig {
@@ -748,6 +927,7 @@ impl QueueConfig {
             retry: RetryPolicy::default(),
             autoscale: None,
             trace: None,
+            format: FormatPolicy::default(),
         }
     }
 
@@ -843,6 +1023,12 @@ impl QueueConfig {
         self
     }
 
+    /// Sets the per-request serving-format policy.
+    pub fn with_format(mut self, format: FormatPolicy) -> Self {
+        self.format = format;
+        self
+    }
+
     /// Whether this run injects faults or scales the fleet — the
     /// configurations that need the event-driven loop's drill state.
     fn has_drills(&self) -> bool {
@@ -866,9 +1052,24 @@ pub struct PreparedRequest {
     /// Subgraph statistics for cost-model prediction. [`Default`] in
     /// fabricated test streams — the event loop itself never reads it.
     pub stats: RequestStats,
-    /// Per-class cold reports (one per [`EngineLineup`] class, in class
-    /// order) from [`prepare_lineup`]; empty on the legacy scalar path.
+    /// Cold reports over the prepared `(class, format)` matrix from
+    /// [`prepare_matrix`] / [`prepare_lineup`], row-major by class
+    /// (`class_reports[class * formats.len() + format]`); empty on the
+    /// legacy scalar path.
     pub class_reports: Vec<SimReport>,
+    /// The format palette `class_reports` is simulated over (one column
+    /// per entry, palette order). Empty means the single-format
+    /// `[ServeFormat::Native]` palette — the shape [`prepare`] and
+    /// [`prepare_lineup`] produce.
+    pub formats: Vec<ServeFormat>,
+}
+
+impl PreparedRequest {
+    /// Palette width of the prepared `(class, format)` matrix (1 for
+    /// the legacy single-format prepare).
+    pub fn format_count(&self) -> usize {
+        self.formats.len().max(1)
+    }
 }
 
 /// Samples, builds and simulates every request in parallel (stream
@@ -886,29 +1087,67 @@ pub fn prepare(
     model: &AccelModel,
     hw: &HwConfig,
 ) -> Vec<PreparedRequest> {
-    prepare_classes(ctx, requests, model, std::slice::from_ref(hw), false)
+    prepare_cells(
+        ctx,
+        requests,
+        model,
+        std::slice::from_ref(hw),
+        &[ServeFormat::Native],
+        false,
+    )
 }
 
 /// [`prepare`] for a heterogeneous lineup: simulates every request's
 /// cold service **once per hardware class** inside the same parallel
-/// phase, filling [`PreparedRequest::class_reports`] in class order.
-/// The reference report (`report`) is class 0's, so arrival calibration
-/// stays reference-based regardless of the lineup mix.
+/// phase, filling [`PreparedRequest::class_reports`] in class order —
+/// the single-format (`[ServeFormat::Native]`) column of
+/// [`prepare_matrix`]. The reference report (`report`) is class 0's, so
+/// arrival calibration stays reference-based regardless of the lineup
+/// mix.
 pub fn prepare_lineup(
     ctx: &ServingContext,
     requests: &[Request],
     model: &AccelModel,
     lineup: &EngineLineup,
 ) -> Vec<PreparedRequest> {
-    let hws: Vec<HwConfig> = lineup.classes.iter().map(|c| c.hw).collect();
-    prepare_classes(ctx, requests, model, &hws, true)
+    prepare_matrix(ctx, requests, model, lineup, &[ServeFormat::Native])
 }
 
-fn prepare_classes(
+/// [`prepare`] over the full `(hardware class, format)` dispatch
+/// matrix: simulates every request's cold service once per lineup
+/// class × palette format inside the same parallel, stream-ordered
+/// phase, filling [`PreparedRequest::class_reports`] row-major by class.
+/// Each distinct vertex builds its workload **once** — with every
+/// non-native palette encoding pre-built through the workload's shared
+/// format cache — so widening the palette adds simulations per cell but
+/// never re-encodes a boundary per class. The reference report
+/// (`report`) is class 0 in the palette's first format (native first in
+/// [`ServeFormat::PALETTE`]), so arrival calibration is unchanged.
+///
+/// # Panics
+///
+/// Panics if `formats` is empty or repeats an entry.
+pub fn prepare_matrix(
+    ctx: &ServingContext,
+    requests: &[Request],
+    model: &AccelModel,
+    lineup: &EngineLineup,
+    formats: &[ServeFormat],
+) -> Vec<PreparedRequest> {
+    assert!(!formats.is_empty(), "a prepare matrix needs >= 1 format");
+    for (i, f) in formats.iter().enumerate() {
+        assert!(!formats[..i].contains(f), "palette repeats {:?}", f.label());
+    }
+    let hws: Vec<HwConfig> = lineup.classes.iter().map(|c| c.hw).collect();
+    prepare_cells(ctx, requests, model, &hws, formats, true)
+}
+
+fn prepare_cells(
     ctx: &ServingContext,
     requests: &[Request],
     model: &AccelModel,
     hws: &[HwConfig],
+    formats: &[ServeFormat],
     keep_class_reports: bool,
 ) -> Vec<PreparedRequest> {
     let mut distinct: Vec<u32> = requests.iter().map(|r| r.seed_vertex).collect();
@@ -922,14 +1161,19 @@ fn prepare_classes(
             };
             let sub = ctx.sample(&probe);
             let vertices = sub.vertices.clone();
-            let wl = ctx.build_workload_from(&probe, sub);
+            let wl = ctx.build_workload_formats(&probe, sub, formats);
             let stats = RequestStats {
                 vertices: vertices.len() as u64,
                 edges: wl.graph().num_edges() as u64,
                 sparsity: wl.trace.avg_intermediate_sparsity(),
                 feature_bytes: vertices.len() as u64 * wl.dataset.input_features as u64 * 4,
             };
-            let reports = hws.iter().map(|hw| model.simulate(&wl, hw)).collect();
+            let mut reports = Vec::with_capacity(hws.len() * formats.len());
+            for hw in hws {
+                for f in formats {
+                    reports.push(model.simulate_with_format(&wl, hw, f.override_kind()));
+                }
+            }
             (vertices, stats, reports)
         });
     requests
@@ -946,6 +1190,11 @@ fn prepare_classes(
                 stats: *stats,
                 class_reports: if keep_class_reports {
                     reports.clone()
+                } else {
+                    Vec::new()
+                },
+                formats: if keep_class_reports {
+                    formats.to_vec()
                 } else {
                     Vec::new()
                 },
@@ -972,6 +1221,13 @@ pub struct RequestTiming {
     /// Warm-cache filtering of the request's feature working set on its
     /// engine.
     pub warm: SpanCounts,
+    /// Palette index of the serving format the dispatcher chose (0 —
+    /// native — on the legacy single-format path).
+    pub format: usize,
+    /// The dispatcher's routing-time service prediction (cycles): what
+    /// the format/engine choice was minimized over. Compared against
+    /// `service_cycles` in the summary's prediction-error stat.
+    pub predicted_cycles: u64,
 }
 
 impl RequestTiming {
@@ -1212,10 +1468,23 @@ struct QueueSim<'a> {
     pricing: Vec<ClassPricing>,
     /// Whether the run prices service from per-class lineup reports.
     lineup_active: bool,
-    /// The fitted service-time predictor (cost-aware routing under a
-    /// lineup; `None` otherwise — legacy cost-aware routes on the exact
-    /// cold scaled estimate).
+    /// The fitted service-time predictor (cost-aware or adaptive-format
+    /// routing under a lineup; `None` otherwise — legacy cost-aware
+    /// routes on the exact cold scaled estimate).
     cost: Option<CostModel>,
+    /// The prepared stream's format palette (always ≥ 1 entry;
+    /// `[Native]` on the legacy single-format path).
+    palette: Vec<ServeFormat>,
+    /// Palette index every request serves in under a fixed format
+    /// policy; `None` under adaptive dispatch.
+    fixed_fmt: Option<usize>,
+    /// Chosen palette format per request, committed at every
+    /// (re)assignment — what `cold_report`/`account_warm` price from.
+    chosen_fmt: Vec<usize>,
+    /// Routing-time predicted service per request (the quantity the
+    /// dispatcher minimized), recorded for the summary's
+    /// predicted-vs-actual error.
+    predicted: Vec<u64>,
     /// Work stealing (from whichever fleet abstraction is active).
     stealing: bool,
     /// Lazy loop in exact-estimate mode: assignment order equals
@@ -1290,8 +1559,10 @@ impl QueueSim<'_> {
                 .expect("an engine is available"),
             // Cost-model routing: minimize predicted completion
             // (projected start + predicted service on the engine's
-            // class), falling back to least-loaded order then the
-            // lowest id on ties.
+            // class, in the best palette format for that class under
+            // adaptive dispatch — a joint engines × formats argmin),
+            // falling back to least-loaded order then the lowest id on
+            // ties.
             SchedPolicy::CostAware => self
                 .engines
                 .iter()
@@ -1300,7 +1571,7 @@ impl QueueSim<'_> {
                 .min_by_key(|(id, e)| {
                     let start = e.projected_free().max(arrival);
                     (
-                        start.saturating_add(self.predicted_service(*id, p)),
+                        start.saturating_add(self.best_format(*id, p).1),
                         e.projected_free(),
                         *id,
                     )
@@ -1361,31 +1632,72 @@ impl QueueSim<'_> {
     }
 
     /// The cold report request `id` runs from on engine `e`'s hardware
-    /// class: its per-class lineup report, or the reference report on
-    /// the legacy scalar path.
+    /// class **in its chosen format**: the `(class, chosen format)`
+    /// lineup cell, or the reference report on the legacy scalar path.
+    /// Callers commit the format choice ([`Self::assign_format`])
+    /// before pricing.
     fn cold_report(&self, e: usize, id: usize) -> &SimReport {
         let p = &self.prepared[id];
         if self.lineup_active {
-            &p.class_reports[self.engines[e].class]
+            &p.class_reports[self.engines[e].class * self.palette.len() + self.chosen_fmt[id]]
         } else {
             &p.report
         }
     }
 
-    /// Cold service estimate of request `id` on engine `e` (the class
-    /// report scaled by the engine's legacy factor).
+    /// Cold service estimate of request `id` on engine `e` (the chosen
+    /// `(class, format)` cell report scaled by the engine's legacy
+    /// factor).
     fn cold_est(&self, e: usize, id: usize) -> u64 {
         scale_service(self.cold_report(e, id).cycles, self.engines[e].scale)
     }
 
-    /// Predicted service of request `id` on engine `e` for cost-aware
-    /// routing: the fitted cost model's per-class prediction under a
-    /// lineup, the exact cold scaled estimate otherwise.
-    fn predicted_service(&self, e: usize, p: &PreparedRequest) -> u64 {
+    /// Predicted cold cycles of request `p` on the `(class, format)`
+    /// cell: the fitted cost model when present, the exact prepared
+    /// cell report otherwise (the reference report on the legacy scalar
+    /// path, whose palette is the single native column).
+    fn cell_cycles(&self, class: usize, f: usize, p: &PreparedRequest) -> u64 {
+        let cell = class * self.palette.len() + f;
         match &self.cost {
-            Some(model) => model.predict_cycles(self.engines[e].class, &p.stats),
-            None => scale_service(p.report.cycles, self.engines[e].scale),
+            Some(model) => model.predict_cycles(cell, &p.stats),
+            None if self.lineup_active => p.class_reports[cell].cycles,
+            None => p.report.cycles,
         }
+    }
+
+    /// Predicted service of request `p` on engine `e` in palette format
+    /// `f`: the `(class, format)` cell prediction scaled by the
+    /// engine's legacy factor (1.0 under a lineup).
+    fn predicted_service(&self, e: usize, f: usize, p: &PreparedRequest) -> u64 {
+        scale_service(
+            self.cell_cycles(self.engines[e].class, f, p),
+            self.engines[e].scale,
+        )
+    }
+
+    /// The palette format minimizing request `p`'s predicted service on
+    /// engine `e` (the pinned column under a fixed policy), with the
+    /// winning prediction. Ties go to the lowest palette index — native
+    /// first in the standard palette.
+    fn best_format(&self, e: usize, p: &PreparedRequest) -> (usize, u64) {
+        if let Some(fixed) = self.fixed_fmt {
+            return (fixed, self.predicted_service(e, fixed, p));
+        }
+        (0..self.palette.len())
+            .map(|f| (f, self.predicted_service(e, f, p)))
+            .min_by_key(|&(f, s)| (s, f))
+            .expect("palette is non-empty")
+    }
+
+    /// Commits request `id`'s format choice (and the routing-time
+    /// prediction it was minimized to) for service on engine `e` —
+    /// called at every (re)assignment, so a redriven request re-picks
+    /// for its new engine. Pure in `(engine class, prepared, cost
+    /// model)`, so the eager and lazy loops commit identical choices.
+    fn assign_format(&mut self, e: usize, id: usize) {
+        let (fmt, predicted) = self.best_format(e, &self.prepared[id]);
+        self.chosen_fmt[id] = fmt;
+        self.predicted[id] = predicted;
     }
 
     /// Pulls request `id`'s feature working set through engine `e`'s
@@ -1400,7 +1712,10 @@ impl QueueSim<'_> {
         let pricing = self.pricing[class];
         let scale = self.engines[e].scale;
         let report = if self.lineup_active {
-            &p.class_reports[class]
+            // The request's committed (class, format) cell — a
+            // recovered or freshly-provisioned engine re-warms against
+            // its *own* class/format cold report, never the reference.
+            &p.class_reports[class * self.palette.len() + self.chosen_fmt[id]]
         } else {
             &p.report
         };
@@ -1465,6 +1780,8 @@ impl QueueSim<'_> {
             finish,
             service_cycles: service,
             warm,
+            format: self.chosen_fmt[id],
+            predicted_cycles: self.predicted[id],
         });
         if self.event_driven {
             let epoch = self.engines[e].epoch;
@@ -1550,6 +1867,7 @@ impl QueueSim<'_> {
         while let Some((id, arrival)) = self.next_arrival() {
             let p = &self.prepared[id];
             let e = self.pick_engine(p, arrival);
+            self.assign_format(e, id);
             let est = self.cold_est(e, id);
             if self.shed_decision(arrival, e, est) {
                 self.shed.push(ShedRecord {
@@ -1685,6 +2003,7 @@ impl QueueSim<'_> {
         }
         let p = &self.prepared[id];
         let e = self.pick_engine(p, t);
+        self.assign_format(e, id);
         let est = self.cold_est(e, id);
         if self.shed_decision(t, e, est) {
             self.shed.push(ShedRecord {
@@ -1795,6 +2114,7 @@ impl QueueSim<'_> {
         let first_dispatch = self.attempts[id] == 0;
         let p = &self.prepared[id];
         let e = self.pick_engine(p, t);
+        self.assign_format(e, id);
         let est = self.cold_est(e, id);
         if first_dispatch && self.shed_decision(t, e, est) {
             self.shed.push(ShedRecord {
@@ -2049,6 +2369,35 @@ pub fn simulate_queue_forced(
             "fleet scales must be positive and finite, got {s}"
         );
     }
+    // The prepared stream's format palette (an empty `formats` is the
+    // legacy single-format shape): every request must share it, and the
+    // fixed-format policy must name one of its columns.
+    let palette: Vec<ServeFormat> = match prepared.first() {
+        Some(p) if !p.formats.is_empty() => p.formats.clone(),
+        _ => vec![ServeFormat::Native],
+    };
+    for p in prepared {
+        let shared = if p.formats.is_empty() {
+            palette == [ServeFormat::Native]
+        } else {
+            p.formats == palette
+        };
+        assert!(
+            shared,
+            "every prepared request must share one format palette"
+        );
+    }
+    let fixed_fmt = match cfg.format {
+        FormatPolicy::Fixed(f) => Some(palette.iter().position(|&g| g == f).unwrap_or_else(|| {
+            panic!(
+                "format {:?} is not in the prepared palette {:?} — prepare with prepare_matrix \
+                 over a palette containing it",
+                f.label(),
+                palette.iter().map(ServeFormat::label).collect::<Vec<_>>()
+            )
+        })),
+        FormatPolicy::Adaptive => None,
+    };
     if let Some(lineup) = &cfg.lineup {
         assert_eq!(
             lineup.engines(),
@@ -2062,8 +2411,9 @@ pub fn simulate_queue_forced(
         for p in prepared {
             assert_eq!(
                 p.class_reports.len(),
-                lineup.classes.len(),
-                "a lineup run needs per-class cold reports — prepare with prepare_lineup"
+                lineup.classes.len() * palette.len(),
+                "a lineup run needs per-(class, format) cold reports — prepare with \
+                 prepare_lineup or prepare_matrix"
             );
         }
     }
@@ -2239,9 +2589,11 @@ pub fn simulate_queue_forced(
     // byte-identical on every non-reordering configuration.
     let exact_est = lazy && !drills && !stealing && !cfg.policy.reorders_queue();
     // The cost model is fitted (serially, in stream order) only when
-    // cost-aware routing actually has distinct hardware to predict for.
-    let cost = match (&cfg.lineup, cfg.policy) {
-        (Some(lineup), SchedPolicy::CostAware) => {
+    // routing actually has distinct cells to predict for: cost-aware
+    // engine choice or adaptive format choice, under a lineup.
+    let adaptive = matches!(cfg.format, FormatPolicy::Adaptive);
+    let cost = match &cfg.lineup {
+        Some(lineup) if cfg.policy == SchedPolicy::CostAware || adaptive => {
             Some(CostModel::fit(prepared, lineup.classes.len()))
         }
         _ => None,
@@ -2259,6 +2611,10 @@ pub fn simulate_queue_forced(
         pricing,
         lineup_active: cfg.lineup.is_some(),
         cost,
+        palette,
+        fixed_fmt,
+        chosen_fmt: vec![0; n],
+        predicted: vec![0; n],
         stealing,
         exact_est,
         affinity_slack,
@@ -2292,6 +2648,7 @@ pub fn simulate_queue_forced(
         incidents,
         retries,
         peak_available,
+        palette,
         ..
     } = sim;
     // The lazy loop records in service-start order; report in stream
@@ -2336,6 +2693,7 @@ pub fn simulate_queue_forced(
         &engine_uptime,
         &drill_stats,
         cfg,
+        &palette,
     );
     QueueOutcome {
         records,
@@ -2349,8 +2707,11 @@ pub fn simulate_queue_forced(
     }
 }
 
-/// Convenience wrapper: [`prepare`] (or [`prepare_lineup`] when the
-/// config carries a lineup) + [`simulate_queue`] in one call.
+/// Convenience wrapper: [`prepare`] (or, when the config carries a
+/// lineup, [`prepare_lineup`] — widened to the full
+/// [`ServeFormat::PALETTE`] via [`prepare_matrix`] when the format
+/// policy needs more than the native column) + [`simulate_queue`] in
+/// one call.
 pub fn run_queue(
     ctx: &ServingContext,
     requests: &[Request],
@@ -2358,9 +2719,12 @@ pub fn run_queue(
     hw: &HwConfig,
     cfg: &QueueConfig,
 ) -> QueueOutcome {
-    let prepared = match &cfg.lineup {
-        Some(lineup) => prepare_lineup(ctx, requests, model, lineup),
-        None => prepare(ctx, requests, model, hw),
+    let prepared = match (&cfg.lineup, cfg.format) {
+        (Some(lineup), FormatPolicy::Fixed(ServeFormat::Native)) => {
+            prepare_lineup(ctx, requests, model, lineup)
+        }
+        (Some(lineup), _) => prepare_matrix(ctx, requests, model, lineup, &ServeFormat::PALETTE),
+        (None, _) => prepare(ctx, requests, model, hw),
     };
     simulate_queue(&prepared, cfg, hw, feature_row_bytes(ctx))
 }
@@ -2457,6 +2821,15 @@ pub struct QueueSummary {
     /// Fleet price in cost units: the lineup's summed class costs, or
     /// one unit per engine on the legacy scalar path.
     pub cost_units: f64,
+    /// Format-policy label (`fixed:native` on the legacy path).
+    pub format_policy: String,
+    /// Completed requests per palette format, in palette order
+    /// (`(label, count)` pairs).
+    pub format_dispatch: Vec<(String, u64)>,
+    /// Mean relative error of the dispatcher's routing-time service
+    /// prediction against the actual warm-adjusted service, over
+    /// completed requests (0 when nothing completed).
+    pub format_pred_err: f64,
 }
 
 /// Drill counters threaded from the event loop into the summary.
@@ -2478,6 +2851,7 @@ impl QueueSummary {
     /// block: every ratio has a zero-denominator guard (including
     /// utilization and availability over zero-uptime fleets), so no
     /// field is ever `inf`/`NaN`.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_run(
         records: &[RequestTiming],
         shed: &[ShedRecord],
@@ -2486,7 +2860,13 @@ impl QueueSummary {
         engine_uptime: &[u64],
         drill: &DrillStats,
         cfg: &QueueConfig,
+        formats: &[ServeFormat],
     ) -> Self {
+        let formats = if formats.is_empty() {
+            &[ServeFormat::Native][..]
+        } else {
+            formats
+        };
         let completed = records.len();
         let offered = completed + shed.len() + failed.len();
         let mut waits: Vec<u64> = records.iter().map(|r| r.wait_cycles()).collect();
@@ -2513,6 +2893,17 @@ impl QueueSummary {
             },
         };
         let div = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let mut dispatch: Vec<(String, u64)> = formats
+            .iter()
+            .map(|f| (f.label().to_string(), 0u64))
+            .collect();
+        let mut err_sum = 0.0;
+        for r in records {
+            let slot = r.format.min(dispatch.len() - 1);
+            dispatch[slot].1 += 1;
+            let actual = r.service_cycles.max(1) as f64;
+            err_sum += (r.predicted_cycles as f64 - actual).abs() / actual;
+        }
         QueueSummary {
             requests: offered,
             engines: cfg.engines,
@@ -2567,6 +2958,9 @@ impl QueueSummary {
                 .lineup
                 .as_ref()
                 .map_or(cfg.engines as f64, EngineLineup::cost_units),
+            format_policy: cfg.format.label(),
+            format_dispatch: dispatch,
+            format_pred_err: div(err_sum, completed as f64),
         }
     }
 
@@ -2576,7 +2970,7 @@ impl QueueSummary {
     pub fn to_json(&self, label: &str) -> String {
         let label = label.replace('\\', "\\\\").replace('"', "\\\"");
         format!(
-            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {},\n  \"cost_units\": {:.3}\n}}\n",
+            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {},\n  \"cost_units\": {:.3},\n  \"format_policy\": \"{}\",\n  \"format_dispatch\": {{{}}},\n  \"format_pred_err\": {:.6}\n}}\n",
             self.requests,
             self.engines,
             self.policy,
@@ -2615,6 +3009,13 @@ impl QueueSummary {
             self.availability,
             self.peak_engines,
             self.cost_units,
+            self.format_policy,
+            self.format_dispatch
+                .iter()
+                .map(|(f, c)| format!("\"{f}\": {c}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.format_pred_err,
         )
     }
 }
@@ -2901,6 +3302,33 @@ mod tests {
             let lazy = simulate_queue_forced(&prepared, &cfg, &base, row, true);
             assert_eq!(eager, lazy, "{policy:?}");
         }
+        // And under per-request format dispatch: the format choice is
+        // committed at assignment in both loops, so the full
+        // (class, format) matrix preserves the equivalence too.
+        let matrix = prepare_matrix(
+            &ctx,
+            &stream,
+            &AccelModel::sgcn(),
+            &lineup,
+            &ServeFormat::PALETTE,
+        );
+        for policy in [
+            SchedPolicy::LeastLoaded,
+            SchedPolicy::CacheAffinity,
+            SchedPolicy::CostAware,
+        ] {
+            for format in [
+                FormatPolicy::Adaptive,
+                FormatPolicy::Fixed(ServeFormat::Kind(FormatKind::Beicsr)),
+            ] {
+                let cfg = qcfg(3, policy)
+                    .with_lineup(lineup.clone())
+                    .with_format(format);
+                let eager = simulate_queue_forced(&matrix, &cfg, &base, row, false);
+                let lazy = simulate_queue_forced(&matrix, &cfg, &base, row, true);
+                assert_eq!(eager, lazy, "{policy:?} / {}", format.label());
+            }
+        }
     }
 
     #[test]
@@ -2985,6 +3413,101 @@ mod tests {
         let mixed = EngineLineup::mixed(4, base);
         assert!(mixed.cost_units() < 4.0, "eco engines are cheaper");
         assert!((EngineLineup::uniform(4, base).cost_units() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_format_and_policy_labels_round_trip() {
+        for f in ServeFormat::PALETTE {
+            assert_eq!(ServeFormat::parse(f.label()), Some(f));
+            let policy = FormatPolicy::Fixed(f);
+            assert_eq!(FormatPolicy::parse(&policy.label()), Some(policy));
+            // The bare format name parses as its fixed policy too.
+            assert_eq!(FormatPolicy::parse(f.label()), Some(policy));
+            assert!(FormatPolicy::valid_values().contains(&policy.label()));
+        }
+        assert_eq!(ServeFormat::Native.override_kind(), None);
+        assert_eq!(
+            ServeFormat::Kind(FormatKind::Beicsr).override_kind(),
+            Some(FormatKind::Beicsr)
+        );
+        assert_eq!(
+            FormatPolicy::parse("adaptive"),
+            Some(FormatPolicy::Adaptive)
+        );
+        assert_eq!(FormatPolicy::default().label(), "fixed:native");
+        // Non-palette study formats are not serving formats.
+        assert_eq!(ServeFormat::parse("coo"), None);
+        assert_eq!(FormatPolicy::parse("bogus"), None);
+    }
+
+    /// Fabricates a prepared request whose cold service is exactly
+    /// linear in its vertex count, with a *constant* sparsity column.
+    fn fab_const_sparsity(index: usize, vertices: u64) -> PreparedRequest {
+        let report = SimReport {
+            accelerator: "fab",
+            workload: "FAB".into(),
+            cycles: 1_000 * vertices,
+            agg_cycles: 0,
+            comb_cycles: 0,
+            mem_cycles: 0,
+            macs: 0,
+            mem: sgcn_mem::MemReport::default(),
+            energy: Default::default(),
+            tdp_watts: 0.0,
+            layers: Vec::new(),
+        };
+        PreparedRequest {
+            request: Request {
+                index,
+                seed_vertex: vertices as u32,
+            },
+            vertices: vec![vertices as u32],
+            report,
+            stats: RequestStats {
+                vertices,
+                edges: vertices * 3,
+                sparsity: 0.5,
+                feature_bytes: vertices * 256,
+            },
+            class_reports: Vec::new(),
+            formats: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cost_model_survives_constant_feature_columns() {
+        // Regression (degenerate-column fix): every request sharing one
+        // sparsity used to leave the normalized sparsity column constant
+        // — collinear with the intercept, so the ridge-solved weights
+        // were ill-conditioned and an unseen sparsity value could swing
+        // predictions. Post-fix, dead columns are dropped from the
+        // normal equations: their weight is exactly 0 and predictions
+        // are invariant to the unseen value in that column.
+        let prepared: Vec<PreparedRequest> = (0..12)
+            .map(|i| fab_const_sparsity(i, 20 + 13 * i as u64))
+            .collect();
+        let model = CostModel::fit(&prepared, 1);
+        // Novel stats (not a training point — misses the exact memo)
+        // differing only in the dead sparsity column predict the same.
+        let a = RequestStats {
+            vertices: 777,
+            edges: 777 * 3,
+            sparsity: 0.5,
+            feature_bytes: 777 * 256,
+        };
+        let b = RequestStats { sparsity: 0.9, ..a };
+        assert_eq!(model.predict_cycles(0, &a), model.predict_cycles(0, &b));
+        // The fit survived as a genuine regression, not the mean
+        // fallback: predictions still track the live columns.
+        let small = model.predict_cycles(0, &fab_const_sparsity(0, 10).stats);
+        let large = model.predict_cycles(0, &fab_const_sparsity(0, 10_000).stats);
+        assert!(
+            large > small * 100,
+            "fit collapsed to the mean: {small} vs {large}"
+        );
+        // And it is tight on the (linear) ground truth.
+        let rel = (model.predict_cycles(0, &a) as f64 - 777_000.0).abs() / 777_000.0;
+        assert!(rel < 0.05, "prediction off by {rel:.3}");
     }
 
     #[test]
@@ -3100,6 +3623,65 @@ mod tests {
             cost.summary.p99_e2e_cycles,
             least.summary.p99_e2e_cycles
         );
+    }
+
+    #[test]
+    fn adaptive_dispatch_matches_or_beats_every_fixed_format() {
+        // The acceptance gate of the format work: on the mixed lineup
+        // under bursty traffic, letting the cost model pick the
+        // (engine, format) pair per request must not lose to pinning
+        // every request to any single palette format.
+        let ctx = tiny_ctx();
+        let stream = ctx.hotspot_stream(36, 5);
+        let base = HwConfig::default();
+        let lineup = EngineLineup::mixed(3, base);
+        let prepared = prepare_matrix(
+            &ctx,
+            &stream,
+            &AccelModel::sgcn(),
+            &lineup,
+            &ServeFormat::PALETTE,
+        );
+        let row = feature_row_bytes(&ctx);
+        for p in &prepared {
+            assert_eq!(p.formats, ServeFormat::PALETTE.to_vec());
+            assert_eq!(p.class_reports.len(), 2 * ServeFormat::PALETTE.len());
+        }
+        let run = |format: FormatPolicy| {
+            let cfg = QueueConfig::new(3, SchedPolicy::CostAware, 0.9, 7)
+                .with_traffic(TrafficModel::bursty_default())
+                .with_lineup(lineup.clone())
+                .with_format(format);
+            simulate_queue(&prepared, &cfg, &base, row).summary
+        };
+        let adaptive = run(FormatPolicy::Adaptive);
+        assert_eq!(adaptive.format_policy, "adaptive");
+        assert_eq!(
+            adaptive.format_dispatch.iter().map(|(_, c)| c).sum::<u64>(),
+            adaptive.completed as u64,
+            "dispatch counts must partition completions"
+        );
+        for (idx, f) in ServeFormat::PALETTE.into_iter().enumerate() {
+            let fixed = run(FormatPolicy::Fixed(f));
+            assert_eq!(fixed.completed, adaptive.completed);
+            // A fixed policy dispatches every completion in its format.
+            for (i, (label, count)) in fixed.format_dispatch.iter().enumerate() {
+                assert_eq!(label, ServeFormat::PALETTE[i].label());
+                assert_eq!(
+                    *count,
+                    if i == idx { fixed.completed as u64 } else { 0 },
+                    "fixed:{} dispatched {count} requests as {label}",
+                    f.label()
+                );
+            }
+            assert!(
+                adaptive.p99_e2e_cycles <= fixed.p99_e2e_cycles,
+                "adaptive p99 {} > fixed:{} p99 {}",
+                adaptive.p99_e2e_cycles,
+                f.label(),
+                fixed.p99_e2e_cycles
+            );
+        }
     }
 
     #[test]
@@ -3597,6 +4179,9 @@ mod tests {
         assert!(j.contains("\"completed\": "), "{j}");
         assert!(j.contains("\"shed_rate\": "), "{j}");
         assert!(j.contains("\"violation_rate\": "), "{j}");
+        assert!(j.contains("\"format_policy\": \"fixed:native\""), "{j}");
+        assert!(j.contains("\"format_dispatch\": {\"native\": "), "{j}");
+        assert!(j.contains("\"format_pred_err\": "), "{j}");
         assert!(!j.contains("inf") && !j.contains("NaN"), "{j}");
     }
 }

@@ -180,6 +180,23 @@ impl Workload {
         sgcn_model::layer::effective_edges(&self.dataset.graph, self.network.variant)
     }
 
+    /// Pre-encodes every boundary matrix (`1..=layers`) in each of the
+    /// given study formats into the shared [`FormatCache`], so the
+    /// per-(class, format) cold simulations of one serving request
+    /// encode each boundary once instead of once per hardware class.
+    /// Dense is skipped (the simulator borrows the trace matrix
+    /// directly and never consults the cache for it).
+    pub fn precache_boundary_formats(&self, kinds: &[FormatKind]) {
+        for &kind in kinds {
+            if matches!(kind, FormatKind::Dense) {
+                continue;
+            }
+            for b in 1..=self.network.layers {
+                crate::accel::sim::precache_boundary_kind(self, b, kind);
+            }
+        }
+    }
+
     /// Bytes of one topology stream pass (CSR row pointers + indices,
     /// plus edge weights unless the variant ignores them).
     pub fn topology_bytes_per_layer(&self) -> u64 {

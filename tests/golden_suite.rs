@@ -317,6 +317,64 @@ fn check_queue_lineup_summary_golden() {
     assert_matches_golden("queue_lineup_quick.json", &json);
 }
 
+/// The adaptive format-dispatch queueing summary (the full
+/// `(class, format)` matrix preparation on the mixed lineup, routed
+/// `cost-aware` with the `adaptive` format policy under bursty traffic)
+/// must match its snapshot — pinning the palette-wide cold preparation,
+/// the per-cell cost-model fit, and the joint engine × format dispatch
+/// decision in one trace. The adaptive cell must also beat (or match)
+/// every fixed palette format on p99 end-to-end latency: the acceptance
+/// gate of the format work. Called from the single env-touching test
+/// below for the same reason as [`check_serve_summary_golden`].
+fn check_queue_format_summary_golden() {
+    use sgcn::accel::AccelModel;
+    use sgcn::serving::queueing::{
+        feature_row_bytes, prepare_matrix, simulate_queue, EngineLineup, FormatPolicy, QueueConfig,
+        SchedPolicy, ServeFormat, TrafficModel,
+    };
+    use sgcn::serving::{ServingConfig, ServingContext};
+
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts: sgcn_graph::sampling::Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.hotspot_stream(60, 10);
+    let lineup = EngineLineup::mixed(4, cfg.hw());
+    let prepared = prepare_matrix(
+        &ctx,
+        &stream,
+        &AccelModel::sgcn(),
+        &lineup,
+        &ServeFormat::PALETTE,
+    );
+    let run = |format| {
+        let qcfg = QueueConfig::new(4, SchedPolicy::CostAware, 0.8, cfg.seed)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_lineup(lineup.clone())
+            .with_format(format);
+        simulate_queue(&prepared, &qcfg, &cfg.hw(), feature_row_bytes(&ctx))
+    };
+    let adaptive = run(FormatPolicy::Adaptive);
+    for f in ServeFormat::PALETTE {
+        let fixed = run(FormatPolicy::Fixed(f));
+        assert!(
+            adaptive.summary.p99_e2e_cycles <= fixed.summary.p99_e2e_cycles,
+            "adaptive p99 {} must not lose to fixed:{} p99 {} on the mixed lineup",
+            adaptive.summary.p99_e2e_cycles,
+            f.label(),
+            fixed.summary.p99_e2e_cycles
+        );
+    }
+    let json = adaptive
+        .summary
+        .to_json("PM fanout 10x5 SGCN x4 cost-aware bursty lineup-mixed adaptive");
+    assert_matches_golden("queue_format_quick.json", &json);
+}
+
 /// The full rendered quick suite must match the snapshot on both the
 /// default (fast) path and the `SGCN_NAIVE=1` seed-replay path, and the
 /// serving and queueing summaries must match their snapshots. Everything
@@ -336,6 +394,7 @@ fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
     check_queue_slo_summary_golden();
     check_queue_drill_summary_golden();
     check_queue_lineup_summary_golden();
+    check_queue_format_summary_golden();
 
     std::env::set_var("SGCN_NAIVE", "1");
     let naive = sgcn_bench::run_suite(&cfg, &datasets, true);

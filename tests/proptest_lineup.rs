@@ -56,6 +56,7 @@ fn fab(index: usize, cycles: u64, eco_x10: u64, vertices: Vec<u32>) -> PreparedR
         vertices,
         class_reports: vec![report.clone(), eco],
         report,
+        formats: Vec::new(),
     }
 }
 
@@ -311,6 +312,54 @@ proptest! {
         prop_assert!(s.cost_units > 0.0);
         let again = simulate_queue(&prepared, &cfg, &hw, 256);
         prop_assert_eq!(&again, &out);
+    }
+
+    #[test]
+    fn recovered_eco_engine_rewarms_against_its_own_cold_report(
+        profile in proptest::collection::vec((1_000u64..2_000_000, 0u32..6), 8..40),
+        eco_x10 in 11u64..40,
+        seed in 0u64..1_000,
+        down_at in 10_000u64..500_000,
+        dur in 100_000u64..2_000_000,
+    ) {
+        // `MemorySystem::reset_cold` under lineups: after a crash +
+        // recovery, an eco-class engine restarts with an empty cache and
+        // must re-warm against its *own* class cold report — its first
+        // post-recovery service is exactly the eco cell's cold cycles
+        // (scale is 1.0 under a lineup), never the reference cell's.
+        let prepared = fab_stream(&profile, eco_x10);
+        let cfg = QueueConfig::new(2, SchedPolicy::CostAware, 0.9, seed)
+            .with_lineup(fab_lineup(2, false))
+            .with_faults(FailureModel::Scripted(vec![Incident {
+                engine: 1,
+                down_at,
+                up_at: down_at + dur,
+            }]))
+            .with_retry(RetryPolicy::new(3, 0));
+        let out = simulate_queue(&prepared, &cfg, &HwConfig::default(), 256);
+        // On the two-engine mixed lineup, engine 1 is the eco class.
+        let first_after = out
+            .records
+            .iter()
+            .filter(|r| r.engine == 1 && r.start >= down_at + dur)
+            .min_by_key(|r| r.start);
+        if let Some(r) = first_after {
+            let p = &prepared[r.index];
+            let eco_cold = p.class_reports[1].cycles;
+            prop_assert_eq!(
+                r.warm.hits, 0,
+                "recovered engine served request {} warm", r.index
+            );
+            prop_assert_eq!(
+                r.service_cycles, eco_cold,
+                "request {} re-warmed against the wrong cold report \
+                 (eco {}, reference {})",
+                r.index, eco_cold, p.report.cycles
+            );
+            // The property has teeth: the eco profile is strictly
+            // slower, so pricing off the reference cell would differ.
+            prop_assert!(r.service_cycles != p.report.cycles);
+        }
     }
 
     #[test]
