@@ -50,6 +50,22 @@
 //!   `3`),
 //! * `SGCN_AUTOSCALE` — elastic fleet: `none` / `auto[:MIN[:PROV]]`
 //!   (default `none`),
+//! * `SGCN_CLASSES` — deadline classes: `none` / `mix:FRAC` /
+//!   `mix:FRAC+preempt` — a seeded interactive/batch mix with per-class
+//!   deadlines, shed switches and retry budgets; `+preempt` lets
+//!   arriving interactive requests preempt in-service batch work
+//!   (default `none`),
+//! * `SGCN_DEGRADE` — brownout ladder: `none` /
+//!   `brownout[:DOWN,UP[,COOLDOWN]]` — under backlog pressure the fleet
+//!   steps adaptive → cheapest fixed format → lite fanouts and back
+//!   (needs `SGCN_LINEUP` and `SGCN_FORMATS=adaptive`; default `none`),
+//! * `SGCN_LOG_INGEST` — ingest a real timestamp log (one timestamp per
+//!   line) as the arrival process, rescaled so the stream's offered
+//!   load matches `SGCN_LOAD`; missing/malformed files are hard errors,
+//! * `SGCN_CAPACITY=sweep` — run the capacity planner (fleet sizes ×
+//!   class mixes under a drills-on overload) and write
+//!   `BENCH_capacity.json` (`SGCN_CAPACITY_OUT`) instead of a single
+//!   run,
 //! * `SGCN_TRACE_RECORD` — write the run's arrival trace to this path,
 //! * `SGCN_TRACE_REPLAY` — replay a recorded arrival trace from this
 //!   path instead of generating traffic,
@@ -61,9 +77,10 @@
 
 use sgcn::accel::AccelModel;
 use sgcn::serving::queueing::{
-    feature_row_bytes, prepare_lineup, prepare_matrix, run_queue, simulate_queue, ArrivalTrace,
-    EngineLineup, FailureModel, FleetSpec, FormatPolicy, QueueConfig, QueueSummary, RetryPolicy,
-    ScalePolicy, SchedPolicy, ServeFormat, SloConfig, TrafficModel,
+    feature_row_bytes, prepare, prepare_degraded, prepare_lineup, prepare_matrix, simulate_queue,
+    ArrivalTrace, ClassPolicy, DegradePolicy, EngineLineup, FailureModel, FleetSpec, FormatPolicy,
+    QueueConfig, QueueSummary, RequestClass, RetryPolicy, ScalePolicy, SchedPolicy, ServeFormat,
+    SloConfig, TrafficModel,
 };
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn_bench::{banner, experiment_config};
@@ -92,6 +109,11 @@ const LINEUP_VALUES: &str = "uniform, eco, mixed (each optionally +steal), or sw
 const FAULTS_VALUES: &str = "none, mtbf[:MTBF,MTTR[,KILLED]], script:ENGINE@DOWN+DUR;...";
 const RETRY_VALUES: &str = "ATTEMPTS[:BACKOFF_CYCLES]";
 const AUTOSCALE_VALUES: &str = "none, auto[:MIN[:PROVISION_CYCLES]]";
+const CLASSES_VALUES: &str = "none, mix:FRAC, mix:FRAC+preempt (FRAC in [0,1])";
+const DEGRADE_VALUES: &str = "none, brownout, brownout:DOWN,UP[,COOLDOWN] (DOWN > UP >= 0)";
+const CAPACITY_VALUES: &str = "sweep";
+const TRACE_FORMAT: &str = "an arrival-trace JSON written by SGCN_TRACE_RECORD \
+     ({\"trace\": \"sgcn-arrivals\", \"version\": 1, \"traffic\": ..., \"times\": [...]})";
 
 /// The lineup × routing-policy capacity planner behind
 /// `BENCH_lineup.json`: uniform vs mixed hardware lineups × {least-
@@ -335,6 +357,225 @@ fn format_sweep(requests: usize, engines: usize, load: f64, hotspot: usize) {
     println!("wrote {path}");
 }
 
+/// Per-class "SLO met" verdict of one capacity cell: the class had
+/// offered traffic and at most 10% of it ended badly — shed, failed,
+/// or completed past the class deadline.
+fn class_met(s: &QueueSummary, c: usize) -> (u64, bool) {
+    let offered = s.class_completed[c] + s.class_shed[c] + s.class_failed[c];
+    let bad = s.class_shed[c] + s.class_failed[c] + s.class_violations[c];
+    (offered, offered > 0 && bad * 10 <= offered)
+}
+
+/// The interactive class's shed fraction of its own offered traffic.
+fn interactive_shed_rate(s: &QueueSummary) -> f64 {
+    let i = RequestClass::Interactive.idx();
+    let offered = s.class_completed[i] + s.class_shed[i] + s.class_failed[i];
+    if offered == 0 {
+        0.0
+    } else {
+        s.class_shed[i] as f64 / offered as f64
+    }
+}
+
+/// The capacity planner behind `BENCH_capacity.json`: fleet sizes ×
+/// class mixes under a drills-on overload (bursty traffic at ρ ≥ 1.2
+/// with MTBF faults), every cell protected by deadline classes with
+/// preemption and the brownout ladder. The plan reports the minimum
+/// fleet meeting each class's SLO (≤ 10% bad outcomes) per mix, and the
+/// verdict re-runs the base fleet with preemption + brownout disabled
+/// on the same seed — the overload-resilience claim (better interactive
+/// p99 *and* shed rate) as a committed, drift-checked number. Every
+/// byte of the JSON is a pure function of `(stream, knobs)`.
+fn capacity_plan(requests: usize, engines: usize, load: f64, hotspot: usize) {
+    let cfg = experiment_config();
+    let hw = cfg.hw();
+    // Capacity planning is an overload exercise: keep ρ well over 1 so
+    // both the fleet sizing and the protected-vs-baseline verdict bite.
+    let rho = load.max(1.2);
+    let fanouts = Fanouts::new(vec![10, 5]);
+    let label = format!(
+        "{} fanout {} SGCN capacity plan mixed cost-aware bursty load {rho:.2} mtbf drills",
+        DatasetId::PubMed.abbrev(),
+        fanouts.label()
+    );
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts,
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = if hotspot == 0 {
+        ctx.request_stream(requests)
+    } else {
+        ctx.hotspot_stream(requests, hotspot)
+    };
+    let fleet_sizes = [2usize, 3, 4, 6, 8, 12, 16];
+    let mixes = [0.3f64, 0.6];
+    let t0 = std::time::Instant::now();
+    // One (class, format, lite) preparation serves every cell: the
+    // mixed lineup's hardware classes are engine-count independent.
+    let prepared = prepare_degraded(
+        &ctx,
+        &stream,
+        &AccelModel::sgcn(),
+        &EngineLineup::mixed(engines.max(2), hw),
+        &ServeFormat::PALETTE,
+    );
+    let row_bytes = feature_row_bytes(&ctx);
+    let base = |e: usize| {
+        QueueConfig::new(e, SchedPolicy::CostAware, rho, cfg.seed)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_lineup(EngineLineup::mixed(e, hw))
+            .with_format(FormatPolicy::Adaptive)
+            .with_faults(FailureModel::mtbf_default())
+            .with_retry(RetryPolicy::default())
+    };
+    // Record the base fleet's offered-arrival timeline once, then pin
+    // the SAME absolute timeline on every cell through the replay seam.
+    // Without it each fleet size would re-normalize the traffic model
+    // to its own capacity — every cell would see the same relative
+    // overload and no fleet could ever catch up, which is the opposite
+    // of a capacity question.
+    let trace = simulate_queue(
+        &prepared,
+        &base(engines).with_classes(ClassPolicy::mix(mixes[0])),
+        &hw,
+        row_bytes,
+    )
+    .arrival_trace();
+    let scenario = |e: usize, classes: ClassPolicy, brownout: bool| {
+        let mut qc = base(e).with_trace(trace.clone()).with_classes(classes);
+        if brownout {
+            qc = qc.with_degrade(DegradePolicy::default());
+        }
+        simulate_queue(&prepared, &qc, &hw, row_bytes).summary
+    };
+    let iv = RequestClass::Interactive.idx();
+    let bt = RequestClass::Batch.idx();
+    let mut cells: Vec<(usize, f64, QueueSummary)> = Vec::new();
+    for &mix in &mixes {
+        for &e in &fleet_sizes {
+            let s = scenario(e, ClassPolicy::mix(mix).with_preemption(), true);
+            let (_, met_i) = class_met(&s, iv);
+            let (_, met_b) = class_met(&s, bt);
+            println!(
+                "  mix {mix:.2} x{e}: int p99 {:>9} (met {}), batch p99 {:>9} (met {}), \
+                 {} preempted, {} degraded",
+                s.class_p99_e2e[iv], met_i, s.class_p99_e2e[bt], met_b, s.preemptions, s.degraded
+            );
+            cells.push((e, mix, s));
+        }
+    }
+    // The acceptance comparison: same fleet, same seed, protection off.
+    let protected = scenario(engines, ClassPolicy::mix(mixes[0]).with_preemption(), true);
+    let baseline = scenario(engines, ClassPolicy::mix(mixes[0]), false);
+    let p99_better = protected.class_p99_e2e[iv] < baseline.class_p99_e2e[iv];
+    let shed_better = interactive_shed_rate(&protected) < interactive_shed_rate(&baseline);
+    let improved = p99_better && shed_better;
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "verdict:         x{engines} mix {:.2} — interactive p99 {} vs {} baseline, \
+         shed {:.1}% vs {:.1}% — protection {}",
+        mixes[0],
+        protected.class_p99_e2e[iv],
+        baseline.class_p99_e2e[iv],
+        interactive_shed_rate(&protected) * 100.0,
+        interactive_shed_rate(&baseline) * 100.0,
+        if improved { "wins" } else { "DOES NOT WIN" }
+    );
+    println!(
+        "host replay:     {wall:.2}s wall ({} cells on {} thread(s))",
+        cells.len() + 2,
+        sgcn_par::threads()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"offered_load\": {rho:.6},\n"));
+    json.push_str(&format!(
+        "  \"fleet_sizes\": [{}],\n",
+        fleet_sizes
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"class_mixes\": [{}],\n",
+        mixes
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, (e, mix, s)) in cells.iter().enumerate() {
+        let (off_i, met_i) = class_met(s, iv);
+        let (off_b, met_b) = class_met(s, bt);
+        json.push_str(&format!(
+            "    {{\"engines\": {e}, \"mix\": {mix:.2}, \"completed\": {}, \"shed\": {}, \
+             \"failed\": {}, \"preemptions\": {}, \"degraded\": {}, \
+             \"interactive\": {{\"offered\": {off_i}, \"completed\": {}, \"shed\": {}, \
+             \"violations\": {}, \"p99_e2e_cycles\": {}, \"met\": {met_i}}}, \
+             \"batch\": {{\"offered\": {off_b}, \"completed\": {}, \"shed\": {}, \
+             \"violations\": {}, \"p99_e2e_cycles\": {}, \"met\": {met_b}}}}}{}\n",
+            s.completed,
+            s.shed,
+            s.failed,
+            s.preemptions,
+            s.degraded,
+            s.class_completed[iv],
+            s.class_shed[iv],
+            s.class_violations[iv],
+            s.class_p99_e2e[iv],
+            s.class_completed[bt],
+            s.class_shed[bt],
+            s.class_violations[bt],
+            s.class_p99_e2e[bt],
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"plan\": [\n");
+    for (mi, &mix) in mixes.iter().enumerate() {
+        let min_for = |c: usize| {
+            cells
+                .iter()
+                .find(|(_, m, s)| *m == mix && class_met(s, c).1)
+                .map_or(0, |(e, ..)| *e)
+        };
+        json.push_str(&format!(
+            "    {{\"mix\": {mix:.2}, \"min_engines\": {{\"interactive\": {}, \"batch\": {}}}}}{}\n",
+            min_for(iv),
+            min_for(bt),
+            if mi + 1 < mixes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"verdict\": {{\"engines\": {engines}, \"mix\": {:.2}, \
+         \"protected\": {{\"interactive_p99_e2e_cycles\": {}, \"interactive_shed_rate\": {:.6}, \
+         \"preemptions\": {}, \"degraded\": {}}}, \
+         \"baseline\": {{\"interactive_p99_e2e_cycles\": {}, \"interactive_shed_rate\": {:.6}}}, \
+         \"improved_interactive_p99\": {p99_better}, \"improved_interactive_shed\": {shed_better}, \
+         \"improved\": {improved}}}\n",
+        mixes[0],
+        protected.class_p99_e2e[iv],
+        interactive_shed_rate(&protected),
+        protected.preemptions,
+        protected.degraded,
+        baseline.class_p99_e2e[iv],
+        interactive_shed_rate(&baseline),
+    ));
+    json.push_str("}\n");
+    let path = std::env::var("SGCN_CAPACITY_OUT").unwrap_or_else(|_| "BENCH_capacity.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_capacity.json");
+    println!("wrote {path}");
+}
+
 fn main() {
     banner("BENCH_queue harness (online queueing, multi-engine co-scheduling)");
     let cfg = experiment_config();
@@ -359,6 +600,13 @@ fn main() {
         })
         .unwrap_or_else(|| FleetSpec::uniform(engines));
     let hotspot: usize = env_parse("SGCN_HOTSPOT", (requests / 6).max(1));
+    if let Ok(v) = std::env::var("SGCN_CAPACITY") {
+        knob("SGCN_CAPACITY", &v, CAPACITY_VALUES, |v| {
+            (v.trim() == "sweep").then_some(())
+        });
+        capacity_plan(requests, engines, load, hotspot);
+        return;
+    }
     let lineup_spec = std::env::var("SGCN_LINEUP").ok();
     let format_spec = std::env::var("SGCN_FORMATS").ok();
     if format_spec.as_deref().map(str::trim) == Some("sweep") {
@@ -402,10 +650,41 @@ fn main() {
         .ok()
         .map(|v| knob("SGCN_AUTOSCALE", &v, AUTOSCALE_VALUES, ScalePolicy::parse))
         .unwrap_or(None);
+    let classes = std::env::var("SGCN_CLASSES")
+        .ok()
+        .map(|v| knob("SGCN_CLASSES", &v, CLASSES_VALUES, ClassPolicy::parse))
+        .unwrap_or(None);
+    let degrade = std::env::var("SGCN_DEGRADE")
+        .ok()
+        .map(|v| knob("SGCN_DEGRADE", &v, DEGRADE_VALUES, DegradePolicy::parse))
+        .unwrap_or(None);
+    if classes.is_some() && slo_cycles > 0 {
+        panic!(
+            "SGCN_CLASSES and SGCN_SLO_CYCLES are mutually exclusive — per-class deadlines \
+             replace the single-class SLO"
+        );
+    }
+    if degrade.is_some() && (lineup.is_none() || format != FormatPolicy::Adaptive) {
+        panic!(
+            "SGCN_DEGRADE needs a hardware lineup and adaptive dispatch to step down from — \
+             set SGCN_LINEUP ({LINEUP_VALUES}) and SGCN_FORMATS=adaptive"
+        );
+    }
+    // File knobs follow the same hard-error convention as enum knobs: a
+    // missing or malformed path aborts with the expected format instead
+    // of silently re-running generated traffic.
     let replay = std::env::var("SGCN_TRACE_REPLAY").ok().map(|path| {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
-        ArrivalTrace::parse(&text).unwrap_or_else(|| panic!("{path:?} is not an arrival trace"))
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("cannot read SGCN_TRACE_REPLAY {path:?}: {e} — expected {TRACE_FORMAT}")
+        });
+        ArrivalTrace::parse(&text).unwrap_or_else(|| {
+            panic!("SGCN_TRACE_REPLAY {path:?} is not an arrival trace — expected {TRACE_FORMAT}")
+        })
     });
+    let log_ingest = std::env::var("SGCN_LOG_INGEST").ok();
+    if replay.is_some() && log_ingest.is_some() {
+        panic!("SGCN_TRACE_REPLAY and SGCN_LOG_INGEST both set — pick one arrival source");
+    }
 
     let fanouts = Fanouts::new(vec![10, 5]);
     let mut label = format!(
@@ -430,6 +709,15 @@ fn main() {
                 .as_ref()
                 .map_or_else(|| "none".to_string(), ScalePolicy::label)
         );
+    }
+    if let Some(pol) = &classes {
+        label = format!("{label} {}", pol.label());
+    }
+    if let Some(pol) = &degrade {
+        label = format!("{label} {}", pol.label());
+    }
+    if log_ingest.is_some() {
+        label = format!("{label} log-ingest");
     }
     let ctx = ServingContext::new(ServingConfig {
         dataset: DatasetId::PubMed,
@@ -459,6 +747,12 @@ fn main() {
     if let Some(scale) = autoscale {
         qcfg = qcfg.with_autoscale(scale);
     }
+    if let Some(pol) = classes {
+        qcfg = qcfg.with_classes(pol);
+    }
+    if let Some(pol) = degrade {
+        qcfg = qcfg.with_degrade(pol);
+    }
     if let Some(trace) = replay {
         assert_eq!(
             trace.len(),
@@ -469,7 +763,48 @@ fn main() {
         qcfg = qcfg.with_trace(trace);
     }
     let t0 = std::time::Instant::now();
-    let out = run_queue(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw(), &qcfg);
+    // Prepare before traffic materializes: log ingestion rescales the
+    // real log's gaps against the prepared stream's mean cold service,
+    // so the replayed timeline offers exactly SGCN_LOAD to this fleet.
+    let prepared = match (&qcfg.lineup, qcfg.format) {
+        (Some(lineup), _) if qcfg.degrade.is_some() => prepare_degraded(
+            &ctx,
+            &stream,
+            &AccelModel::sgcn(),
+            lineup,
+            &ServeFormat::PALETTE,
+        ),
+        (Some(lineup), FormatPolicy::Fixed(ServeFormat::Native)) => {
+            prepare_lineup(&ctx, &stream, &AccelModel::sgcn(), lineup)
+        }
+        (Some(lineup), _) => prepare_matrix(
+            &ctx,
+            &stream,
+            &AccelModel::sgcn(),
+            lineup,
+            &ServeFormat::PALETTE,
+        ),
+        (None, _) => prepare(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw()),
+    };
+    if let Some(path) = log_ingest {
+        let mean_service = prepared.iter().map(|p| p.report.cycles).sum::<u64>() as f64
+            / prepared.len().max(1) as f64;
+        let gap = if engines > 0 && load > 0.0 {
+            mean_service / (engines as f64 * load)
+        } else {
+            mean_service
+        };
+        let trace = ArrivalTrace::from_timestamp_file(&path, gap);
+        assert_eq!(
+            trace.len(),
+            requests,
+            "SGCN_LOG_INGEST {path:?} has {} arrivals but SGCN_REQUESTS is {requests} — \
+             set SGCN_REQUESTS to the log's line count",
+            trace.len()
+        );
+        qcfg = qcfg.with_trace(trace);
+    }
+    let out = simulate_queue(&prepared, &qcfg, &cfg.hw(), feature_row_bytes(&ctx));
     let wall = t0.elapsed().as_secs_f64();
 
     let s = &out.summary;
@@ -521,6 +856,29 @@ fn main() {
             s.format_policy,
             parts.join(", "),
             s.format_pred_err * 100.0
+        );
+    }
+    if s.classes != "none" {
+        let i = RequestClass::Interactive.idx();
+        let b = RequestClass::Batch.idx();
+        println!(
+            "classes:         {} — interactive {} done / {} shed / p99e {} cycles, \
+             batch {} done / {} shed / p99e {} cycles, {} preemptions",
+            s.classes,
+            s.class_completed[i],
+            s.class_shed[i],
+            s.class_p99_e2e[i],
+            s.class_completed[b],
+            s.class_shed[b],
+            s.class_p99_e2e[b],
+            s.preemptions
+        );
+    }
+    if s.degrade != "none" {
+        println!(
+            "brownout:        {} — {} degraded completions, rung residency full {} / \
+             cheap-fixed {} / lite {} cycles",
+            s.degrade, s.degraded, s.mode_cycles[0], s.mode_cycles[1], s.mode_cycles[2]
         );
     }
     if s.faults != "none" || s.autoscale != "none" {

@@ -183,7 +183,7 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
 
     // Online queueing scenario: the same sampled-request serving path put
     // behind live traffic with multi-engine co-scheduling (`queue_sim` is
-    // the full-stream harness). All seven grids share one prepared
+    // the full-stream harness). All eight grids share one prepared
     // stream — the preparation is traffic/policy/load/fleet independent:
     // policy × offered load, engine-count scaling, traffic model × policy
     // under an SLO deadline (bursty/diurnal/closed-loop arrivals with
@@ -191,8 +191,10 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     // the hardware lineup × routing-policy capacity planner (per-engine
     // accelerator models with cost-model dispatch), the serving-format
     // dispatch sweep (fixed palette formats vs adaptive per-request
-    // choice), and the failure drills (fault intensity × policy × retry
-    // budget with elastic autoscaling).
+    // choice), the failure drills (fault intensity × policy × retry
+    // budget with elastic autoscaling), and the deadline-class capacity
+    // sweep (fleet size × interactive mix under drills-on overload,
+    // guarded by preemption and the brownout ladder).
     let queue_requests = if quick { 36 } else { 192 };
     let grids = exp::queueing_grids(
         cfg,
@@ -210,5 +212,6 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     writeln!(out, "{}", grids.lineup).unwrap();
     writeln!(out, "{}", grids.format).unwrap();
     writeln!(out, "{}", grids.failure).unwrap();
+    writeln!(out, "{}", grids.classes).unwrap();
     out
 }

@@ -1227,14 +1227,19 @@ pub struct QueueingGrids {
     pub format: Grid,
     /// Failure-drill sweep: fault intensity × policy × retry budget.
     pub failure: Grid,
+    /// Deadline-class capacity sweep: fleet size × interactive mix
+    /// under a drills-on overload, guarded cells protected by class
+    /// deadlines with preemption and the brownout ladder.
+    pub classes: Grid,
 }
 
-/// Renders all seven queueing grids (policy × offered-load sweep,
+/// Renders all eight queueing grids (policy × offered-load sweep,
 /// engine-count sweep, traffic-mix × policy SLO sweep, fleet sweep,
-/// hardware-lineup sweep, format-dispatch sweep, failure-drill sweep)
-/// off one shared preparation — what the full suite calls, since the
-/// expensive half (sampling + cold simulation of the stream) is
-/// identical for every sweep cell of every grid.
+/// hardware-lineup sweep, format-dispatch sweep, failure-drill sweep,
+/// deadline-class capacity sweep) off one shared preparation — what the
+/// full suite calls, since the expensive half (sampling + cold
+/// simulation of the stream) is identical for every sweep cell of every
+/// grid.
 #[allow(clippy::too_many_arguments)]
 pub fn queueing_grids(
     cfg: &ExperimentConfig,
@@ -1254,6 +1259,7 @@ pub fn queueing_grids(
         lineup: queueing_lineup_sweep_prepared(cfg, id, engines, load, requests, &setup),
         format: queueing_format_sweep_prepared(cfg, id, engines, load, requests, &setup),
         failure: queueing_failure_sweep_prepared(cfg, id, engines, load, requests, &setup),
+        classes: queueing_class_sweep_prepared(cfg, id, engines, load, requests, &setup),
     }
 }
 
@@ -1837,6 +1843,143 @@ fn queueing_failure_sweep_prepared(
                 grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
                 grid.set(&row, "warm%", s.warm_hit_rate * 100.0);
             }
+        }
+    }
+    grid
+}
+
+/// Deadline-class capacity scenario (beyond the paper): fleet size ×
+/// interactive mix under a drills-on overload (bursty at ρ ≥ 1.2 with
+/// MTBF faults). Each mix gets an unprotected baseline row at the base
+/// fleet, then guarded rows (class deadlines + preemption + the
+/// brownout ladder) across fleet sizes. The arrival timeline is
+/// recorded once at the base fleet and replayed into every cell, so a
+/// larger fleet actually drains the same offered traffic instead of
+/// seeing it re-normalized to its own capacity. Columns report the
+/// interactive shed rate (%), per-class p99 end-to-end latency
+/// (kilocycles), the preemption count, and the degraded-completion
+/// share (%).
+pub fn queueing_class_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+) -> Grid {
+    queueing_class_sweep_prepared(
+        cfg,
+        id,
+        engines,
+        load,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_class_sweep`] over an already-prepared stream (only the
+/// serving context is shared — the sweep runs its own degraded
+/// preparation, which carries the lineup's per-class and reduced-fanout
+/// lite reports the brownout ladder serves from).
+fn queueing_class_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{
+        feature_row_bytes, prepare_degraded, simulate_queue, ClassPolicy, DegradePolicy,
+        EngineLineup, FailureModel, FormatPolicy, QueueConfig, RequestClass, RetryPolicy,
+        SchedPolicy, ServeFormat, TrafficModel,
+    };
+
+    let cols: Vec<String> = ["ishd%", "ip99(kc)", "bp99(kc)", "pre", "deg%"]
+        .map(String::from)
+        .to_vec();
+    let mixes = [0.3f64, 0.6];
+    let sizes = [2usize, 4, 8];
+    // Capacity is an overload question: keep ρ well over 1 so the
+    // protection mechanisms (shed, preempt, brownout) actually bite.
+    let rho = load.max(1.2);
+    let mut rows = Vec::new();
+    for &mix in &mixes {
+        rows.push(format!("mix {mix:.1} plain x{engines}"));
+        for &e in &sizes {
+            rows.push(format!("mix {mix:.1} guard x{e}"));
+        }
+    }
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: deadline classes & brownout capacity on {} (cost-aware, bursty, mtbf drills, load {rho:.2}, {requests} requests)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let hw = cfg.hw();
+    let stream = setup.0.hotspot_stream(requests, (requests / 6).max(2));
+    let prepared = prepare_degraded(
+        &setup.0,
+        &stream,
+        &AccelModel::sgcn(),
+        &EngineLineup::mixed(engines.max(2), hw),
+        &ServeFormat::PALETTE,
+    );
+    let row_bytes = feature_row_bytes(&setup.0);
+    let base = |e: usize| {
+        QueueConfig::new(e, SchedPolicy::CostAware, rho, cfg.seed)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_lineup(EngineLineup::mixed(e, hw))
+            .with_format(FormatPolicy::Adaptive)
+            .with_faults(FailureModel::mtbf_default())
+            .with_retry(RetryPolicy::default())
+    };
+    // The fixed offered timeline every cell replays (recorded at the
+    // base fleet — see the function doc).
+    let trace = simulate_queue(
+        &prepared,
+        &base(engines).with_classes(ClassPolicy::mix(mixes[0])),
+        &hw,
+        row_bytes,
+    )
+    .arrival_trace();
+    let iv = RequestClass::Interactive.idx();
+    let bt = RequestClass::Batch.idx();
+    let mut fill = |row: &str, qcfg: QueueConfig| {
+        let s = simulate_queue(&prepared, &qcfg, &hw, row_bytes).summary;
+        let offered_i = s.class_completed[iv] + s.class_shed[iv] + s.class_failed[iv];
+        let ishd = if offered_i == 0 {
+            0.0
+        } else {
+            s.class_shed[iv] as f64 / offered_i as f64
+        };
+        let deg = if s.completed == 0 {
+            0.0
+        } else {
+            s.degraded as f64 / s.completed as f64
+        };
+        grid.set(row, "ishd%", ishd * 100.0);
+        grid.set(row, "ip99(kc)", s.class_p99_e2e[iv] as f64 / 1e3);
+        grid.set(row, "bp99(kc)", s.class_p99_e2e[bt] as f64 / 1e3);
+        grid.set(row, "pre", s.preemptions as f64);
+        grid.set(row, "deg%", deg * 100.0);
+    };
+    for &mix in &mixes {
+        fill(
+            &format!("mix {mix:.1} plain x{engines}"),
+            base(engines)
+                .with_trace(trace.clone())
+                .with_classes(ClassPolicy::mix(mix)),
+        );
+        for &e in &sizes {
+            fill(
+                &format!("mix {mix:.1} guard x{e}"),
+                base(e)
+                    .with_trace(trace.clone())
+                    .with_classes(ClassPolicy::mix(mix).with_preemption())
+                    .with_degrade(DegradePolicy::default()),
+            );
         }
     }
     grid

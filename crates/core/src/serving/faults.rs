@@ -384,6 +384,139 @@ impl ScalePolicy {
     }
 }
 
+/// The brownout ladder — how far the fleet has degraded. Rungs are
+/// strictly ordered and every step moves exactly one rung, so a run's
+/// mode trajectory is monotone between reversals (the regression
+/// property the class proptests pin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeMode {
+    /// Full service: the configured format policy (adaptive dispatch by
+    /// default) over full-fidelity cold reports.
+    Full = 0,
+    /// First rung: pin every request to the cheapest fixed palette
+    /// format (no per-request adaptive search, cheaper service).
+    CheapFixed = 1,
+    /// Second rung: serve reduced-fanout "lite" reports — a degraded
+    /// answer (fewer sampled neighbors) that costs a fraction of the
+    /// full service.
+    Lite = 2,
+}
+
+impl DegradeMode {
+    /// Number of rungs (the length of the mode-residency array).
+    pub const COUNT: usize = 3;
+
+    /// Stable report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeMode::Full => "full",
+            DegradeMode::CheapFixed => "cheap-fixed",
+            DegradeMode::Lite => "lite",
+        }
+    }
+
+    /// The rung index.
+    pub fn idx(&self) -> usize {
+        *self as usize
+    }
+
+    /// One rung further degraded (saturates at [`DegradeMode::Lite`]).
+    pub fn down(&self) -> DegradeMode {
+        match self {
+            DegradeMode::Full => DegradeMode::CheapFixed,
+            _ => DegradeMode::Lite,
+        }
+    }
+
+    /// One rung recovered (saturates at [`DegradeMode::Full`]).
+    pub fn up(&self) -> DegradeMode {
+        match self {
+            DegradeMode::Lite => DegradeMode::CheapFixed,
+            _ => DegradeMode::Full,
+        }
+    }
+}
+
+/// Brownout / graceful degradation — the `SGCN_DEGRADE` knob. Like
+/// [`ScalePolicy`], the policy is evaluated once per instant boundary
+/// of the lazy event loop (never mid-instant), so same-instant event
+/// interleaving cannot perturb decisions and drill replay stays
+/// bit-exact. Under backlog or incident pressure the fleet steps down
+/// the [`DegradeMode`] ladder one rung at a time — adaptive format →
+/// cheapest fixed format → reduced-fanout lite reports — and steps back
+/// up one rung at a time on recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradePolicy {
+    /// Step down a rung when backlog pressure (mean services of
+    /// outstanding work per available engine) exceeds this.
+    pub down_pressure: f64,
+    /// Step up a rung when pressure falls below this.
+    pub up_pressure: f64,
+    /// Minimum gap between mode changes, in mean cold services
+    /// (hysteresis against flapping).
+    pub cooldown_services: f64,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            down_pressure: 1.5,
+            up_pressure: 0.5,
+            cooldown_services: 2.0,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// Display label (stable — appears in golden snapshots and
+    /// `BENCH_queue.json`).
+    pub fn label(&self) -> String {
+        let d = DegradePolicy::default();
+        if *self == d {
+            "brownout".into()
+        } else {
+            format!("brownout:{:.1},{:.1}", self.down_pressure, self.up_pressure)
+        }
+    }
+
+    /// Parses an `SGCN_DEGRADE`-style spec: `none`, `brownout`
+    /// (defaults), or `brownout:DOWN,UP[,COOLDOWN]` (pressures and
+    /// cooldown in mean services). Returns `Some(None)` for an explicit
+    /// `none`/empty spec and `None` for unparseable ones.
+    #[allow(clippy::option_option)]
+    pub fn parse(spec: &str) -> Option<Option<DegradePolicy>> {
+        let spec = spec.trim().to_ascii_lowercase();
+        match spec.as_str() {
+            "" | "none" | "off" => return Some(None),
+            "brownout" => return Some(Some(DegradePolicy::default())),
+            _ => {}
+        }
+        let rest = spec.strip_prefix("brownout:")?;
+        let parts: Vec<&str> = rest.split(',').collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            return None;
+        }
+        let down: f64 = parts[0].trim().parse().ok()?;
+        let up: f64 = parts[1].trim().parse().ok()?;
+        let cooldown: f64 = match parts.get(2) {
+            Some(p) => p.trim().parse().ok()?,
+            None => DegradePolicy::default().cooldown_services,
+        };
+        if !(down.is_finite() && up.is_finite() && cooldown.is_finite())
+            || down <= up
+            || up < 0.0
+            || cooldown < 0.0
+        {
+            return None;
+        }
+        Some(Some(DegradePolicy {
+            down_pressure: down,
+            up_pressure: up,
+            cooldown_services: cooldown,
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +674,58 @@ mod tests {
     #[should_panic(expected = "fleet floor")]
     fn zero_floor_panics() {
         let _ = ScalePolicy::with_floor(0);
+    }
+
+    #[test]
+    fn degrade_policy_parse_and_label() {
+        assert_eq!(DegradePolicy::parse("none"), Some(None));
+        assert_eq!(DegradePolicy::parse(""), Some(None));
+        assert_eq!(DegradePolicy::parse("off"), Some(None));
+        assert_eq!(
+            DegradePolicy::parse("brownout"),
+            Some(Some(DegradePolicy::default()))
+        );
+        let custom = DegradePolicy::parse("brownout:2.0,0.25,3.0")
+            .expect("parses")
+            .expect("on");
+        assert_eq!(custom.down_pressure, 2.0);
+        assert_eq!(custom.up_pressure, 0.25);
+        assert_eq!(custom.cooldown_services, 3.0);
+        assert_eq!(DegradePolicy::default().label(), "brownout");
+        assert_eq!(custom.label(), "brownout:2.0,0.2");
+        for bad in [
+            "bogus",
+            "brownout:",
+            "brownout:1.0",
+            // Down must be strictly above up, pressures non-negative.
+            "brownout:0.5,1.5",
+            "brownout:1.5,-0.5",
+            "brownout:1.5,0.5,-1",
+            "brownout:nan,0.5",
+        ] {
+            assert_eq!(DegradePolicy::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn degrade_ladder_steps_one_rung_and_saturates() {
+        assert_eq!(DegradeMode::Full.down(), DegradeMode::CheapFixed);
+        assert_eq!(DegradeMode::CheapFixed.down(), DegradeMode::Lite);
+        assert_eq!(DegradeMode::Lite.down(), DegradeMode::Lite);
+        assert_eq!(DegradeMode::Lite.up(), DegradeMode::CheapFixed);
+        assert_eq!(DegradeMode::CheapFixed.up(), DegradeMode::Full);
+        assert_eq!(DegradeMode::Full.up(), DegradeMode::Full);
+        assert_eq!(DegradeMode::Full.idx(), 0);
+        assert_eq!(DegradeMode::Lite.idx(), DegradeMode::COUNT - 1);
+        assert_eq!(
+            [
+                DegradeMode::Full,
+                DegradeMode::CheapFixed,
+                DegradeMode::Lite
+            ]
+            .map(|m| m.label()),
+            ["full", "cheap-fixed", "lite"]
+        );
     }
 
     #[test]

@@ -127,11 +127,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use sgcn_formats::{FormatKind, LineRun};
+use sgcn_graph::sampling::Fanouts;
 use sgcn_mem::{CacheConfig, MemorySystem, SpanCounts, Traffic};
 use sgcn_par::par_map;
 
-pub use crate::serving::faults::{FailureModel, FaultPlan, Incident, RetryPolicy, ScalePolicy};
-pub use crate::serving::slo::{SloConfig, SloStats};
+pub use crate::serving::faults::{
+    DegradeMode, DegradePolicy, FailureModel, FaultPlan, Incident, RetryPolicy, ScalePolicy,
+};
+pub use crate::serving::slo::{ClassPolicy, ClassSlo, RequestClass, SloConfig, SloStats};
 pub use crate::serving::trace::{ArrivalTrace, TraceArrivals};
 pub use crate::serving::traffic::{
     ArrivalModel, ArrivalProcess, BurstyArrivals, DiurnalArrivals, ThinkTimes, TrafficModel,
@@ -897,6 +900,17 @@ pub struct QueueConfig {
     /// dispatch need a stream prepared over a palette covering the
     /// formats in play ([`prepare_matrix`]).
     pub format: FormatPolicy,
+    /// Deadline classes: a seeded interactive/batch mix where each
+    /// class carries its own deadline, shed switch and retry budget,
+    /// and interactive arrivals may preempt in-service batch work.
+    /// Mutually exclusive with the single-class `slo` knob.
+    pub classes: Option<ClassPolicy>,
+    /// Brownout / graceful degradation: under backlog pressure the
+    /// fleet steps down the [`DegradeMode`] ladder (adaptive → cheapest
+    /// fixed format → reduced-fanout lite reports) and recovers one
+    /// rung at a time. Needs a stream prepared by [`prepare_degraded`]
+    /// and the adaptive format policy.
+    pub degrade: Option<DegradePolicy>,
 }
 
 impl QueueConfig {
@@ -928,6 +942,8 @@ impl QueueConfig {
             autoscale: None,
             trace: None,
             format: FormatPolicy::default(),
+            classes: None,
+            degrade: None,
         }
     }
 
@@ -938,8 +954,39 @@ impl QueueConfig {
     }
 
     /// Sets the SLO (deadline + shedding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if deadline classes are already configured — the
+    /// per-class contracts supersede the single SLO.
     pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        assert!(
+            self.classes.is_none(),
+            "deadline classes supersede the single SLO — configure one or the other"
+        );
         self.slo = Some(slo);
+        self
+    }
+
+    /// Installs deadline classes (seeded interactive/batch mix with
+    /// per-class contracts and optional preemption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single-class SLO is already configured.
+    pub fn with_classes(mut self, classes: ClassPolicy) -> Self {
+        assert!(
+            self.slo.is_none(),
+            "deadline classes supersede the single SLO — configure one or the other"
+        );
+        self.classes = Some(classes);
+        self
+    }
+
+    /// Arms brownout degradation (requires a [`prepare_degraded`]
+    /// stream and the adaptive format policy at run time).
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = Some(degrade);
         self
     }
 
@@ -1062,6 +1109,13 @@ pub struct PreparedRequest {
     /// `[ServeFormat::Native]` palette — the shape [`prepare`] and
     /// [`prepare_lineup`] produce.
     pub formats: Vec<ServeFormat>,
+    /// Reduced-fanout "lite" cold reports, one per lineup class (native
+    /// format) — the bottom rung of the brownout ladder. Empty unless
+    /// the stream came from [`prepare_degraded`].
+    pub lite_reports: Vec<SimReport>,
+    /// The lite sample's global vertex ids (the reduced warm-cache
+    /// working set). Empty unless prepared by [`prepare_degraded`].
+    pub lite_vertices: Vec<u32>,
 }
 
 impl PreparedRequest {
@@ -1093,6 +1147,7 @@ pub fn prepare(
         model,
         std::slice::from_ref(hw),
         &[ServeFormat::Native],
+        false,
         false,
     )
 }
@@ -1139,9 +1194,42 @@ pub fn prepare_matrix(
         assert!(!formats[..i].contains(f), "palette repeats {:?}", f.label());
     }
     let hws: Vec<HwConfig> = lineup.classes.iter().map(|c| c.hw).collect();
-    prepare_cells(ctx, requests, model, &hws, formats, true)
+    prepare_cells(ctx, requests, model, &hws, formats, true, false)
 }
 
+/// [`prepare_matrix`] plus the brownout ladder's bottom rung: every
+/// distinct vertex is **also** sampled at half fanouts (each hop's cap
+/// halved, floor 1) and cold-simulated once per lineup class in the
+/// native format, filling [`PreparedRequest::lite_reports`] and
+/// [`PreparedRequest::lite_vertices`]. The lite context shares the
+/// synthesized graph and input features, so the extra cost is one small
+/// workload build + one simulation per class per distinct vertex.
+///
+/// # Panics
+///
+/// Panics if `formats` is empty or repeats an entry.
+pub fn prepare_degraded(
+    ctx: &ServingContext,
+    requests: &[Request],
+    model: &AccelModel,
+    lineup: &EngineLineup,
+    formats: &[ServeFormat],
+) -> Vec<PreparedRequest> {
+    assert!(!formats.is_empty(), "a prepare matrix needs >= 1 format");
+    for (i, f) in formats.iter().enumerate() {
+        assert!(!formats[..i].contains(f), "palette repeats {:?}", f.label());
+    }
+    let hws: Vec<HwConfig> = lineup.classes.iter().map(|c| c.hw).collect();
+    prepare_cells(ctx, requests, model, &hws, formats, true, true)
+}
+
+/// The brownout ladder's reduced sampling schedule: every hop's fanout
+/// cap halved, floored at one neighbor.
+fn lite_fanouts(full: &Fanouts) -> Fanouts {
+    Fanouts::new(full.caps().iter().map(|&c| (c / 2).max(1)).collect())
+}
+
+#[allow(clippy::type_complexity)]
 fn prepare_cells(
     ctx: &ServingContext,
     requests: &[Request],
@@ -1149,40 +1237,62 @@ fn prepare_cells(
     hws: &[HwConfig],
     formats: &[ServeFormat],
     keep_class_reports: bool,
+    build_lite: bool,
 ) -> Vec<PreparedRequest> {
     let mut distinct: Vec<u32> = requests.iter().map(|r| r.seed_vertex).collect();
     distinct.sort_unstable();
     distinct.dedup();
-    let per_vertex: Vec<(Vec<u32>, RequestStats, Vec<SimReport>)> =
-        par_map(distinct.clone(), |seed_vertex| {
-            let probe = Request {
-                index: 0,
-                seed_vertex,
-            };
-            let sub = ctx.sample(&probe);
-            let vertices = sub.vertices.clone();
-            let wl = ctx.build_workload_formats(&probe, sub, formats);
-            let stats = RequestStats {
-                vertices: vertices.len() as u64,
-                edges: wl.graph().num_edges() as u64,
-                sparsity: wl.trace.avg_intermediate_sparsity(),
-                feature_bytes: vertices.len() as u64 * wl.dataset.input_features as u64 * 4,
-            };
-            let mut reports = Vec::with_capacity(hws.len() * formats.len());
-            for hw in hws {
-                for f in formats {
-                    reports.push(model.simulate_with_format(&wl, hw, f.override_kind()));
-                }
+    // The lite context shares the synthesized graph/features (fanouts
+    // only change the sampling schedule), so deriving it is cheap.
+    let lite_ctx = build_lite.then(|| ctx.with_fanouts(lite_fanouts(&ctx.config().fanouts)));
+    let per_vertex: Vec<(
+        Vec<u32>,
+        RequestStats,
+        Vec<SimReport>,
+        Vec<SimReport>,
+        Vec<u32>,
+    )> = par_map(distinct.clone(), |seed_vertex| {
+        let probe = Request {
+            index: 0,
+            seed_vertex,
+        };
+        let sub = ctx.sample(&probe);
+        let vertices = sub.vertices.clone();
+        let wl = ctx.build_workload_formats(&probe, sub, formats);
+        let stats = RequestStats {
+            vertices: vertices.len() as u64,
+            edges: wl.graph().num_edges() as u64,
+            sparsity: wl.trace.avg_intermediate_sparsity(),
+            feature_bytes: vertices.len() as u64 * wl.dataset.input_features as u64 * 4,
+        };
+        let mut reports = Vec::with_capacity(hws.len() * formats.len());
+        for hw in hws {
+            for f in formats {
+                reports.push(model.simulate_with_format(&wl, hw, f.override_kind()));
             }
-            (vertices, stats, reports)
-        });
+        }
+        let (lite_reports, lite_vertices) = match &lite_ctx {
+            Some(lctx) => {
+                let lsub = lctx.sample(&probe);
+                let lverts = lsub.vertices.clone();
+                let lwl = lctx.build_workload_from(&probe, lsub);
+                let lr: Vec<SimReport> = hws
+                    .iter()
+                    .map(|hw| model.simulate_with_format(&lwl, hw, None))
+                    .collect();
+                (lr, lverts)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        (vertices, stats, reports, lite_reports, lite_vertices)
+    });
     requests
         .iter()
         .map(|req| {
             let at = distinct
                 .binary_search(&req.seed_vertex)
                 .expect("every stream vertex was prepared");
-            let (vertices, stats, reports) = &per_vertex[at];
+            let (vertices, stats, reports, lite_reports, lite_vertices) = &per_vertex[at];
             PreparedRequest {
                 request: *req,
                 vertices: vertices.clone(),
@@ -1198,6 +1308,8 @@ fn prepare_cells(
                 } else {
                     Vec::new()
                 },
+                lite_reports: lite_reports.clone(),
+                lite_vertices: lite_vertices.clone(),
             }
         })
         .collect()
@@ -1228,6 +1340,11 @@ pub struct RequestTiming {
     /// the format/engine choice was minimized over. Compared against
     /// `service_cycles` in the summary's prediction-error stat.
     pub predicted_cycles: u64,
+    /// Whether service started with the fleet browned out (any
+    /// [`DegradeMode`] below full service) — the summary's
+    /// degraded-completion count. Always `false` without a
+    /// [`DegradePolicy`].
+    pub degraded: bool,
 }
 
 impl RequestTiming {
@@ -1407,6 +1524,36 @@ impl QueueOutcome {
     }
 }
 
+/// The seeded deadline-class draw: pure in `(seed, request index,
+/// interactive fraction)` — a splitmix-style hash to a unit uniform,
+/// like the fault plan's draws — so the mix is thread- and
+/// replay-stable, and the summary can re-derive any record's class
+/// from its stream index alone.
+fn class_of(seed: u64, index: usize, interactive_frac: f64) -> RequestClass {
+    let mut z = (seed ^ 0xC1A5_5000_0000_0001)
+        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+    if u < interactive_frac {
+        RequestClass::Interactive
+    } else {
+        RequestClass::Batch
+    }
+}
+
+/// Materializes a class policy's deadlines to cycles against the
+/// stream's mean cold service (floor one cycle, like every other
+/// service-relative knob).
+fn class_deadlines(pol: &ClassPolicy, mean_service: f64) -> [u64; RequestClass::COUNT] {
+    let to_cycles = |services: f64| ((services * mean_service).round() as u64).max(1);
+    [
+        to_cycles(pol.interactive.deadline_services),
+        to_cycles(pol.batch.deadline_services),
+    ]
+}
+
 /// Scales a cold service time by an engine class factor. A reference
 /// engine (scale 1.0) passes the cold cycles through untouched.
 fn scale_service(cold_cycles: u64, scale: f64) -> u64 {
@@ -1521,6 +1668,35 @@ struct QueueSim<'a> {
     incidents: u64,
     retries: u64,
     peak_available: usize,
+    /// Per-request deadline class (empty without a [`ClassPolicy`]).
+    classes: Vec<RequestClass>,
+    /// Per-class deadlines in cycles, materialized from the stream's
+    /// mean cold service (`[0, 0]` without classes).
+    class_ddl: [u64; RequestClass::COUNT],
+    /// Pending preemption attempts `(time, interactive id)` — processed
+    /// after same-instant completions, so a freed engine serves the
+    /// request without a preemption and the event no-ops.
+    preempts: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Times each request has been preempted (bounded by the policy's
+    /// `max_preemptions`, so conservation cannot livelock).
+    preempt_count: Vec<u32>,
+    /// Preemptions that actually fired.
+    preemptions: u64,
+    /// Whether a [`DegradePolicy`] is armed.
+    degrade_armed: bool,
+    /// Current brownout rung.
+    degrade_mode: DegradeMode,
+    /// Instant the current rung was entered.
+    mode_since: u64,
+    /// Cycles spent on each rung (finalized and clipped at makespan).
+    mode_residency: [u64; DegradeMode::COUNT],
+    /// Brownout decision cooldown (cycles, from `cooldown_services`).
+    degrade_cooldown_cycles: u64,
+    degrade_cooldown_until: u64,
+    /// Palette index of the cheapest fixed format (lowest mean cold
+    /// cycles across the stream's prepared cells) — the ladder's first
+    /// rung. 0 when brownout is off.
+    cheapest_fmt: usize,
 }
 
 impl QueueSim<'_> {
@@ -1619,9 +1795,48 @@ impl QueueSim<'_> {
         }
     }
 
-    /// Admission control: `true` if the SLO sheds a request arriving at
-    /// `arrival` with service estimate `est` on engine `e`.
-    fn shed_decision(&self, arrival: u64, e: usize, est: u64) -> bool {
+    /// The deadline class of request `id` (interactive when classes are
+    /// off — per-class state is never consulted then).
+    fn req_class(&self, id: usize) -> RequestClass {
+        self.classes
+            .get(id)
+            .copied()
+            .unwrap_or(RequestClass::Interactive)
+    }
+
+    /// Request `id`'s dispatch-attempt ceiling: its class's budget under
+    /// deadline classes, the run-wide retry policy otherwise.
+    fn max_attempts_of(&self, id: usize) -> u32 {
+        match &self.cfg.classes {
+            Some(pol) => pol.slo(self.req_class(id)).max_attempts,
+            None => self.cfg.retry.max_attempts,
+        }
+    }
+
+    /// Admission control: `true` if the active contract sheds request
+    /// `id` arriving at `arrival` with service estimate `est` on engine
+    /// `e`. Under deadline classes each class applies its own shed
+    /// switch and deadline; otherwise the single SLO decides.
+    fn shed_decision(&self, arrival: u64, e: usize, est: u64, id: usize) -> bool {
+        if let Some(pol) = &self.cfg.classes {
+            let class = self.req_class(id);
+            if !pol.slo(class).shed {
+                return false;
+            }
+            // An interactive arrival that can preempt a batch victim
+            // will not actually queue behind the backlog — admission
+            // predicts the post-preemption wait (zero), not the
+            // discipline wait, so preemption lowers the shed rate and
+            // not just the served tail.
+            if pol.preempt
+                && class == RequestClass::Interactive
+                && self.preemptible_victim_exists(arrival)
+            {
+                return est > self.class_ddl[class.idx()];
+            }
+            let wait_pred = self.engines[e].projected_free().saturating_sub(arrival);
+            return wait_pred.saturating_add(est) > self.class_ddl[class.idx()];
+        }
         match &self.cfg.slo {
             Some(slo) if slo.shed => {
                 let wait_pred = self.engines[e].projected_free().saturating_sub(arrival);
@@ -1631,13 +1846,24 @@ impl QueueSim<'_> {
         }
     }
 
+    /// Whether a committed format choice is the lite pseudo-format (the
+    /// sentinel one past the palette — only ever committed with
+    /// brownout armed, which guarantees `lite_reports` exist).
+    fn is_lite(&self, fmt: usize) -> bool {
+        fmt == self.palette.len()
+    }
+
     /// The cold report request `id` runs from on engine `e`'s hardware
     /// class **in its chosen format**: the `(class, chosen format)`
-    /// lineup cell, or the reference report on the legacy scalar path.
-    /// Callers commit the format choice ([`Self::assign_format`])
-    /// before pricing.
+    /// lineup cell, the class's reduced-fanout lite report under the
+    /// lite pseudo-format, or the reference report on the legacy scalar
+    /// path. Callers commit the format choice
+    /// ([`Self::assign_format`]) before pricing.
     fn cold_report(&self, e: usize, id: usize) -> &SimReport {
         let p = &self.prepared[id];
+        if self.is_lite(self.chosen_fmt[id]) {
+            return &p.lite_reports[self.engines[e].class];
+        }
         if self.lineup_active {
             &p.class_reports[self.engines[e].class * self.palette.len() + self.chosen_fmt[id]]
         } else {
@@ -1678,8 +1904,27 @@ impl QueueSim<'_> {
     /// The palette format minimizing request `p`'s predicted service on
     /// engine `e` (the pinned column under a fixed policy), with the
     /// winning prediction. Ties go to the lowest palette index — native
-    /// first in the standard palette.
+    /// first in the standard palette. Brownout overrides the policy:
+    /// rung 1 pins the stream's cheapest fixed column, rung 2 serves
+    /// the class's reduced-fanout lite report (the pseudo-format one
+    /// past the palette).
     fn best_format(&self, e: usize, p: &PreparedRequest) -> (usize, u64) {
+        match self.degrade_mode {
+            DegradeMode::CheapFixed => {
+                return (
+                    self.cheapest_fmt,
+                    self.predicted_service(e, self.cheapest_fmt, p),
+                );
+            }
+            DegradeMode::Lite => {
+                let lite = scale_service(
+                    p.lite_reports[self.engines[e].class].cycles,
+                    self.engines[e].scale,
+                );
+                return (self.palette.len(), lite);
+            }
+            DegradeMode::Full => {}
+        }
         if let Some(fixed) = self.fixed_fmt {
             return (fixed, self.predicted_service(e, fixed, p));
         }
@@ -1711,7 +1956,13 @@ impl QueueSim<'_> {
         let class = self.engines[e].class;
         let pricing = self.pricing[class];
         let scale = self.engines[e].scale;
-        let report = if self.lineup_active {
+        let lite = self.is_lite(self.chosen_fmt[id]);
+        let report = if lite {
+            // Lite service streams the reduced sample — fewer feature
+            // rows through the cache, and savings capped at the lite
+            // report's own DRAM traffic.
+            &p.lite_reports[class]
+        } else if self.lineup_active {
             // The request's committed (class, format) cell — a
             // recovered or freshly-provisioned engine re-warms against
             // its *own* class/format cold report, never the reference.
@@ -1719,6 +1970,7 @@ impl QueueSim<'_> {
         } else {
             &p.report
         };
+        let vertices = if lite { &p.lite_vertices } else { &p.vertices };
         let eng = &mut self.engines[e];
         // Fresh per-request counters on a warm hierarchy (contents and
         // open rows survive; see MemorySystem::reset_stats).
@@ -1730,7 +1982,7 @@ impl QueueSim<'_> {
         // path.
         let lines_per_row = pricing.row_stride / pricing.line_bytes;
         let mut warm = SpanCounts::default();
-        for &v in &p.vertices {
+        for &v in vertices {
             warm.add(eng.mem.access_lines(
                 0,
                 LineRun::contiguous(u64::from(v) * lines_per_row, lines_per_row),
@@ -1782,6 +2034,10 @@ impl QueueSim<'_> {
             warm,
             format: self.chosen_fmt[id],
             predicted_cycles: self.predicted[id],
+            // A lite-format request renders a degraded answer even if
+            // the fleet recovered between assignment and service start.
+            degraded: self.degrade_armed
+                && (self.degrade_mode != DegradeMode::Full || self.is_lite(self.chosen_fmt[id])),
         });
         if self.event_driven {
             let epoch = self.engines[e].epoch;
@@ -1869,7 +2125,7 @@ impl QueueSim<'_> {
             let e = self.pick_engine(p, arrival);
             self.assign_format(e, id);
             let est = self.cold_est(e, id);
-            if self.shed_decision(arrival, e, est) {
+            if self.shed_decision(arrival, e, est, id) {
                 self.shed.push(ShedRecord {
                     index: p.request.index,
                     arrival,
@@ -1914,24 +2170,38 @@ impl QueueSim<'_> {
             let ta = self.peek_arrival().map(|t| (t, 3u8));
             let tr = self.redrives.peek().map(|Reverse((t, _))| (*t, 4u8));
             let tc = self.completions.peek().map(|Reverse((t, ..))| (*t, 5u8));
-            if ta.is_none() && tr.is_none() && tc.is_none() {
+            // Preemption attempts sort *after* same-instant completions:
+            // an engine freed at the same instant serves the interactive
+            // request without a preemption, and the event no-ops.
+            let tq = self.preempts.peek().map(|Reverse((t, _))| (*t, 6u8));
+            if ta.is_none() && tr.is_none() && tc.is_none() && tq.is_none() {
                 // No work left anywhere (engine queues drain whenever a
                 // completion is pending, so they are empty too): the
                 // remaining fault/provision events are beyond the
                 // makespan and cannot affect any metric.
                 break;
             }
-            let next = [tf, tp, ta, tr, tc]
+            let next = [tf, tp, ta, tr, tc, tq]
                 .into_iter()
                 .flatten()
                 .min()
                 .expect("some source is non-empty");
-            if self.cfg.autoscale.is_some() && next.0 > now && evaluated_at != now {
-                // The instant is complete: one scaling decision, then
-                // re-gather (a zero-delay provision lands at `now` and
-                // must process before the clock moves).
+            if (self.cfg.autoscale.is_some() || self.degrade_armed)
+                && next.0 > now
+                && evaluated_at != now
+            {
+                // The instant is complete: one scaling decision and one
+                // brownout decision, then re-gather (a zero-delay
+                // provision lands at `now` and must process before the
+                // clock moves). Boundary evaluation is what keeps
+                // record→replay bit-identical — see `evaluate_scaling`.
                 evaluated_at = now;
-                self.evaluate_scaling(now);
+                if self.cfg.autoscale.is_some() {
+                    self.evaluate_scaling(now);
+                }
+                if self.degrade_armed {
+                    self.evaluate_degrade(now);
+                }
                 continue;
             }
             now = next.0;
@@ -1957,24 +2227,30 @@ impl QueueSim<'_> {
                     let Reverse((t, id)) = self.redrives.pop().expect("peeked");
                     self.process_redrive(id, t);
                 }
-                _ => {
+                5 => {
                     let Reverse((t, e, epoch, id)) = self.completions.pop().expect("peeked");
-                    if self.drills && self.engines[e].epoch == epoch {
-                        // A real completion (not killed by a crash):
-                        // release the closed-loop client that was held
-                        // until the outcome was known, and clear the
-                        // slot unless a same-instant dispatch already
-                        // reused it.
+                    // Epoch-fresh completions are real; stale ones were
+                    // killed by a crash (or rolled back by a
+                    // preemption) and carry no bookkeeping.
+                    if self.engines[e].epoch == epoch {
+                        // Clear the slot unless a same-instant dispatch
+                        // already reused it.
                         if let Some(fl) = self.engines[e].in_flight {
                             if fl.id == id && fl.finish == t {
                                 self.engines[e].in_flight = None;
                             }
                         }
-                        self.schedule_next_client(id, t);
-                    } else if !self.drills {
-                        self.engines[e].in_flight = None;
+                        if self.drills {
+                            // Under drills the closed-loop client was
+                            // held until the outcome was known.
+                            self.schedule_next_client(id, t);
+                        }
                     }
                     self.dispatch_idle(t);
+                }
+                _ => {
+                    let Reverse((t, id)) = self.preempts.pop().expect("peeked");
+                    self.process_preempt(id, t);
                 }
             }
         }
@@ -2005,7 +2281,7 @@ impl QueueSim<'_> {
         let e = self.pick_engine(p, t);
         self.assign_format(e, id);
         let est = self.cold_est(e, id);
-        if self.shed_decision(t, e, est) {
+        if self.shed_decision(t, e, est, id) {
             self.shed.push(ShedRecord {
                 index: p.request.index,
                 arrival: t,
@@ -2031,6 +2307,173 @@ impl QueueSim<'_> {
         });
         self.engines[e].queued_est = self.engines[e].queued_est.saturating_add(est);
         self.dispatch_idle(t);
+        // An interactive arrival that is *still* waiting after the
+        // dispatch pass schedules a preemption attempt at this instant
+        // (rank 6 — after same-instant completions, so a newly freed
+        // engine serves it without preempting anyone).
+        if let Some(pol) = &self.cfg.classes {
+            if pol.preempt
+                && self.req_class(id) == RequestClass::Interactive
+                && self.holding_engine(id).is_some()
+            {
+                self.preempts.push(Reverse((t, id)));
+            }
+        }
+    }
+
+    /// Whether any engine currently serves preemptible batch work: up,
+    /// mid-service on a batch request with preemption budget left. The
+    /// admission-time mirror of [`Self::process_preempt`]'s victim scan.
+    fn preemptible_victim_exists(&self, t: u64) -> bool {
+        let max_preemptions = match &self.cfg.classes {
+            Some(pol) if pol.preempt => pol.max_preemptions,
+            _ => return false,
+        };
+        self.engines.iter().any(|eng| {
+            eng.available()
+                && eng.in_flight.is_some_and(|fl| {
+                    fl.finish > t
+                        && self.req_class(fl.id) == RequestClass::Batch
+                        && self.preempt_count[fl.id] < max_preemptions
+                })
+        })
+    }
+
+    /// Whether queued request `id` (which arrived at `arrival`) has
+    /// already blown through its class deadline by dispatch time `t`.
+    /// Serving it cannot meet the SLO, so a shedding class drops it
+    /// from the queue instead of burning capacity on it.
+    fn expired_at_dispatch(&self, id: usize, arrival: u64, t: u64) -> bool {
+        match &self.cfg.classes {
+            Some(pol) => {
+                let class = self.req_class(id);
+                pol.slo(class).shed && t > arrival.saturating_add(self.class_ddl[class.idx()])
+            }
+            None => false,
+        }
+    }
+
+    /// The engine whose queue currently holds request `id`, if any.
+    fn holding_engine(&self, id: usize) -> Option<usize> {
+        self.engines
+            .iter()
+            .position(|e| e.queue.iter().any(|q| q.id == id))
+    }
+
+    /// Attempts to preempt an in-service batch request in favor of the
+    /// still-waiting interactive request `id`. No-ops when the request
+    /// already started (or terminated), or when no victim qualifies. A
+    /// victim must be available, mid-service on a **batch** request
+    /// with preemption budget left, and is chosen as the one finishing
+    /// latest (most residual work reclaimed; ties to the lowest engine
+    /// id). The victim's partial service is rolled back exactly like a
+    /// crash kill — the engine was genuinely occupied from start to
+    /// `t` but rendered nothing — except its warm cache survives, so
+    /// the re-queued batch work re-prices its residual against the rows
+    /// it already pulled. The interactive request then starts on the
+    /// freed engine immediately.
+    fn process_preempt(&mut self, id: usize, t: u64) {
+        let max_preemptions = match &self.cfg.classes {
+            Some(pol) if pol.preempt => pol.max_preemptions,
+            _ => return,
+        };
+        // Stale event: the request already reached an engine.
+        let Some(src) = self.holding_engine(id) else {
+            return;
+        };
+        let mut victim: Option<(u64, usize)> = None; // (finish, engine)
+        for (ve, eng) in self.engines.iter().enumerate() {
+            if !eng.available() {
+                continue;
+            }
+            let Some(fl) = eng.in_flight else { continue };
+            if fl.finish <= t
+                || self.req_class(fl.id) != RequestClass::Batch
+                || self.preempt_count[fl.id] >= max_preemptions
+            {
+                continue;
+            }
+            if victim.is_none_or(|(bf, _)| fl.finish > bf) {
+                victim = Some((fl.finish, ve));
+            }
+        }
+        let Some((_, ve)) = victim else {
+            // The victim promised at admission is gone (completed, or
+            // taken by a same-instant preemption). Re-check the normal
+            // deadline prediction so an optimistically admitted
+            // interactive cannot strand in the backlog past its
+            // deadline — it sheds now instead.
+            let arrival = self.arrival_of[id];
+            let qpos = self.engines[src]
+                .queue
+                .iter()
+                .position(|q| q.id == id)
+                .expect("holder still queues the request");
+            let est = self.engines[src].queue[qpos].est;
+            // The request itself already sits in the holder's queue, so
+            // its own estimate must come back out of the projection —
+            // otherwise the deadline check double-counts its service.
+            let wait_pred = self.engines[src]
+                .projected_free()
+                .saturating_sub(est)
+                .saturating_sub(arrival);
+            let ddl = self.class_ddl[self.req_class(id).idx()];
+            if wait_pred.saturating_add(est) > ddl {
+                let q = self.engines[src].queue.remove(qpos);
+                self.engines[src].queued_est -= q.est;
+                self.shed.push(ShedRecord {
+                    index: self.prepared[id].request.index,
+                    arrival,
+                });
+                self.schedule_next_client(id, t);
+            }
+            return;
+        };
+        let fl = self.engines[ve].in_flight.take().expect("victim in flight");
+        // Un-record the aborted service (the crash-kill rollback), but
+        // keep the cache warm: the victim's rows stay resident.
+        let vidx = self.prepared[fl.id].request.index;
+        let pos = self
+            .records
+            .iter()
+            .rposition(|r| r.index == vidx && r.finish == fl.finish && r.engine == ve)
+            .expect("in-flight victim has a record");
+        let rec = self.records.remove(pos);
+        let eng = &mut self.engines[ve];
+        eng.epoch += 1; // the victim's pending completion dies stale
+        eng.busy -= fl.finish - t;
+        eng.served -= 1;
+        eng.warm.lines -= rec.warm.lines;
+        eng.warm.hits -= rec.warm.hits;
+        eng.warm.misses -= rec.warm.misses;
+        eng.next_free = t;
+        self.preempt_count[fl.id] += 1;
+        self.preemptions += 1;
+        // The victim re-queues on its engine at the cold estimate; its
+        // residual re-prices against the warm cache at restart.
+        self.assign_format(ve, fl.id);
+        let vest = self.cold_est(ve, fl.id);
+        self.engines[ve].queue.push(Queued {
+            id: fl.id,
+            arrival: self.arrival_of[fl.id],
+            est: vest,
+            exact: None,
+        });
+        self.engines[ve].queued_est = self.engines[ve].queued_est.saturating_add(vest);
+        // Move the interactive request to the freed engine and start it
+        // now (bypassing the queue discipline — that is the point).
+        let qpos = self.engines[src]
+            .queue
+            .iter()
+            .position(|q| q.id == id)
+            .expect("holder still queues the request");
+        let q = self.engines[src].queue.remove(qpos);
+        self.engines[src].queued_est -= q.est;
+        self.assign_format(ve, id);
+        let finish = self.start_service(ve, id, q.arrival, t, None);
+        if !self.drills {
+            self.schedule_next_client(id, finish);
+        }
     }
 
     /// Starts queued work on every idle available engine (its own queue
@@ -2041,7 +2484,19 @@ impl QueueSim<'_> {
             if !self.engines[e].available() || self.engines[e].next_free > t {
                 continue; // down, parked, or mid-service
             }
-            if let Some(q) = self.pop_next(e) {
+            while let Some(q) = self.pop_next(e) {
+                // Expiry shedding: a queued request whose class deadline
+                // already passed (its engine sat out a fault, say) cannot
+                // meet the SLO — a shedding class drops it at dispatch
+                // rather than burn capacity on a guaranteed violation.
+                if self.expired_at_dispatch(q.id, q.arrival, t) {
+                    self.shed.push(ShedRecord {
+                        index: self.prepared[q.id].request.index,
+                        arrival: q.arrival,
+                    });
+                    self.schedule_next_client(q.id, t);
+                    continue;
+                }
                 let start = t.max(self.engines[e].next_free);
                 let finish = self.start_service(e, q.id, q.arrival, start, q.exact);
                 // Under drills the closed-loop client is released at the
@@ -2050,15 +2505,17 @@ impl QueueSim<'_> {
                 if !self.drills {
                     self.schedule_next_client(q.id, finish);
                 }
+                break;
             }
         }
     }
 
     /// A killed (or undeliverable) request either re-enters dispatch
     /// after the retry backoff or terminates as failed when its
-    /// dispatch budget is spent.
+    /// dispatch budget is spent (its class's budget under deadline
+    /// classes).
     fn handle_kill(&mut self, id: usize, t: u64) {
-        if self.attempts[id] >= self.cfg.retry.max_attempts {
+        if self.attempts[id] >= self.max_attempts_of(id) {
             self.fail(id, t);
         } else {
             self.redrives.push(Reverse((
@@ -2116,7 +2573,7 @@ impl QueueSim<'_> {
         let e = self.pick_engine(p, t);
         self.assign_format(e, id);
         let est = self.cold_est(e, id);
-        if first_dispatch && self.shed_decision(t, e, est) {
+        if first_dispatch && self.shed_decision(t, e, est, id) {
             self.shed.push(ShedRecord {
                 index: p.request.index,
                 arrival: self.arrival_of[id],
@@ -2256,6 +2713,48 @@ impl QueueSim<'_> {
         }
     }
 
+    /// Brownout, evaluated at the same instant boundaries as
+    /// autoscaling (and with the same backlog-pressure signal): above
+    /// `down_pressure` the fleet steps **down** one rung of the
+    /// [`DegradeMode`] ladder, below `up_pressure` it recovers one
+    /// rung, with a cooldown between changes. One rung per boundary, so
+    /// the mode trajectory is monotone between reversals — the ladder
+    /// never skips a rung.
+    fn evaluate_degrade(&mut self, t: u64) {
+        let pol = self.cfg.degrade.clone().expect("brownout is armed");
+        if t < self.degrade_cooldown_until {
+            return;
+        }
+        let available = self.engines.iter().filter(|e| e.available()).count();
+        let outstanding: u64 = self
+            .engines
+            .iter()
+            .filter(|e| e.available())
+            .map(|e| e.queued_est.saturating_add(e.next_free.saturating_sub(t)))
+            .sum();
+        let capacity = available as f64 * self.mean_service;
+        let pressure = if capacity > 0.0 {
+            outstanding as f64 / capacity
+        } else if outstanding > 0 || !self.redrives.is_empty() || self.peek_arrival().is_some() {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let next = if pressure > pol.down_pressure {
+            self.degrade_mode.down()
+        } else if pressure < pol.up_pressure {
+            self.degrade_mode.up()
+        } else {
+            self.degrade_mode
+        };
+        if next != self.degrade_mode {
+            self.mode_residency[self.degrade_mode.idx()] += t - self.mode_since;
+            self.mode_since = t;
+            self.degrade_mode = next;
+            self.degrade_cooldown_until = t.saturating_add(self.degrade_cooldown_cycles);
+        }
+    }
+
     /// Closes engine `e`'s availability interval at `t`.
     fn close_uptime(&mut self, e: usize, t: u64) {
         if let Some(since) = self.engines[e].up_since.take() {
@@ -2307,10 +2806,27 @@ impl QueueSim<'_> {
     }
 
     /// The queue position the discipline serves next: earliest absolute
-    /// deadline (ties to the lowest id) under `slo-aware`, the front
-    /// (assignment order) otherwise. Without an SLO every deadline
-    /// saturates and EDF degenerates to id order — FIFO.
+    /// deadline (ties to the lowest id) under `slo-aware` — and under
+    /// deadline classes for **every** policy, each request's deadline
+    /// being its class's (so an interactive request overtakes queued
+    /// batch work) — the front (assignment order) otherwise. Without an
+    /// SLO every deadline saturates and EDF degenerates to id order —
+    /// FIFO.
     fn discipline_pos(&self, queue: &[Queued]) -> usize {
+        if self.cfg.classes.is_some() {
+            return queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, q)| {
+                    (
+                        q.arrival
+                            .saturating_add(self.class_ddl[self.req_class(q.id).idx()]),
+                        q.id,
+                    )
+                })
+                .map(|(pos, _)| pos)
+                .expect("non-empty queue");
+        }
         match self.cfg.policy {
             SchedPolicy::SloAware => {
                 let ddl = self.cfg.slo.map(|s| s.deadline_cycles).unwrap_or(u64::MAX);
@@ -2369,6 +2885,10 @@ pub fn simulate_queue_forced(
             "fleet scales must be positive and finite, got {s}"
         );
     }
+    assert!(
+        cfg.slo.is_none() || cfg.classes.is_none(),
+        "deadline classes supersede the single SLO — configure one or the other"
+    );
     // The prepared stream's format palette (an empty `formats` is the
     // legacy single-format shape): every request must share it, and the
     // fixed-format policy must name one of its columns.
@@ -2414,6 +2934,23 @@ pub fn simulate_queue_forced(
                 lineup.classes.len() * palette.len(),
                 "a lineup run needs per-(class, format) cold reports — prepare with \
                  prepare_lineup or prepare_matrix"
+            );
+        }
+    }
+    if cfg.degrade.is_some() {
+        assert!(
+            matches!(cfg.format, FormatPolicy::Adaptive),
+            "brownout degrades the adaptive dispatcher — run with the adaptive format policy"
+        );
+        let lineup = cfg
+            .lineup
+            .as_ref()
+            .expect("brownout needs a hardware lineup — its ladder spans per-class cold reports");
+        for p in prepared {
+            assert_eq!(
+                p.lite_reports.len(),
+                lineup.classes.len(),
+                "brownout needs reduced-fanout lite cold reports — prepare with prepare_degraded"
             );
         }
     }
@@ -2578,7 +3115,10 @@ pub fn simulate_queue_forced(
         None => (0, 0),
     };
     let stealing = cfg.stealing();
-    let lazy = force_lazy || cfg.policy.reorders_queue() || stealing || drills;
+    // Deadline classes reorder every queue (per-class EDF) and brownout
+    // re-prices service at start time, so both force the lazy loop.
+    let lab = cfg.classes.is_some() || cfg.degrade.is_some();
+    let lazy = force_lazy || cfg.policy.reorders_queue() || stealing || drills || lab;
     assert!(
         !drills || lazy,
         "failure drills always run the event-driven loop"
@@ -2587,7 +3127,7 @@ pub fn simulate_queue_forced(
     // can account warm caches at assignment, exactly like the eager
     // loop — the exact-estimate mode that keeps the two loops
     // byte-identical on every non-reordering configuration.
-    let exact_est = lazy && !drills && !stealing && !cfg.policy.reorders_queue();
+    let exact_est = lazy && !drills && !stealing && !cfg.policy.reorders_queue() && !lab;
     // The cost model is fitted (serially, in stream order) only when
     // routing actually has distinct cells to predict for: cost-aware
     // engine choice or adaptive format choice, under a lineup.
@@ -2599,6 +3139,43 @@ pub fn simulate_queue_forced(
         _ => None,
     };
     let peak_available = engines.iter().filter(|e| e.available()).count();
+    // Per-request deadline classes and their materialized deadlines
+    // (pure in seed × index, so replay and the summary agree).
+    let classes: Vec<RequestClass> = match &cfg.classes {
+        Some(pol) => prepared
+            .iter()
+            .map(|p| class_of(cfg.seed, p.request.index, pol.interactive_frac))
+            .collect(),
+        None => Vec::new(),
+    };
+    let class_ddl = cfg
+        .classes
+        .as_ref()
+        .map_or([0, 0], |pol| class_deadlines(pol, mean_service));
+    // The brownout ladder's first rung: the palette column with the
+    // lowest mean cold cycles across every prepared cell (ties to the
+    // lowest index — native first in the standard palette).
+    let cheapest_fmt = if cfg.degrade.is_some() && !prepared.is_empty() {
+        let class_count = cfg.lineup.as_ref().map_or(1, |l| l.classes.len());
+        let pal_len = palette.len();
+        (0..pal_len)
+            .min_by_key(|&f| {
+                let total: u64 = prepared
+                    .iter()
+                    .flat_map(|p| {
+                        (0..class_count).map(move |c| p.class_reports[c * pal_len + f].cycles)
+                    })
+                    .sum();
+                (total, f)
+            })
+            .expect("palette is non-empty")
+    } else {
+        0
+    };
+    let degrade_cooldown_cycles = cfg
+        .degrade
+        .as_ref()
+        .map_or(0, |p| (p.cooldown_services * mean_service).round() as u64);
     let mut sim = QueueSim {
         prepared,
         cfg,
@@ -2633,6 +3210,18 @@ pub fn simulate_queue_forced(
         incidents: 0,
         retries: 0,
         peak_available,
+        classes,
+        class_ddl,
+        preempts: BinaryHeap::new(),
+        preempt_count: vec![0; n],
+        preemptions: 0,
+        degrade_armed: cfg.degrade.is_some(),
+        degrade_mode: DegradeMode::Full,
+        mode_since: 0,
+        mode_residency: [0; DegradeMode::COUNT],
+        degrade_cooldown_cycles,
+        degrade_cooldown_until: 0,
+        cheapest_fmt,
     };
     if lazy {
         sim.run_lazy();
@@ -2649,6 +3238,11 @@ pub fn simulate_queue_forced(
         retries,
         peak_available,
         palette,
+        preemptions,
+        degrade_mode,
+        mode_since,
+        mut mode_residency,
+        class_ddl,
         ..
     } = sim;
     // The lazy loop records in service-start order; report in stream
@@ -2685,6 +3279,16 @@ pub fn simulate_queue_forced(
         retries,
         peak_engines: peak_available,
     };
+    // Close the open degradation-rung interval at the makespan; a rung
+    // entered past the last completion contributes nothing further.
+    if cfg.degrade.is_some() {
+        mode_residency[degrade_mode.idx()] += makespan.saturating_sub(mode_since.min(makespan));
+    }
+    let lab_stats = LabStats {
+        preemptions,
+        mode_cycles: mode_residency,
+        class_ddl,
+    };
     let summary = QueueSummary::from_run(
         &records,
         &shed,
@@ -2692,6 +3296,7 @@ pub fn simulate_queue_forced(
         &engine_busy,
         &engine_uptime,
         &drill_stats,
+        &lab_stats,
         cfg,
         &palette,
     );
@@ -2720,6 +3325,9 @@ pub fn run_queue(
     cfg: &QueueConfig,
 ) -> QueueOutcome {
     let prepared = match (&cfg.lineup, cfg.format) {
+        (Some(lineup), _) if cfg.degrade.is_some() => {
+            prepare_degraded(ctx, requests, model, lineup, &ServeFormat::PALETTE)
+        }
         (Some(lineup), FormatPolicy::Fixed(ServeFormat::Native)) => {
             prepare_lineup(ctx, requests, model, lineup)
         }
@@ -2830,6 +3438,29 @@ pub struct QueueSummary {
     /// prediction against the actual warm-adjusted service, over
     /// completed requests (0 when nothing completed).
     pub format_pred_err: f64,
+    /// Class-policy label (`none` when deadline classes are off).
+    pub classes: String,
+    /// Degrade-policy label (`none` when brownout is off).
+    pub degrade: String,
+    /// Batch requests preempted by arriving interactive requests.
+    pub preemptions: u64,
+    /// Completed requests served in a degraded configuration (pinned
+    /// cheap format or lite fanouts).
+    pub degraded: u64,
+    /// Cycles the fleet spent on each degradation rung (full,
+    /// cheap-fixed, lite), clipped at the makespan.
+    pub mode_cycles: [u64; DegradeMode::COUNT],
+    /// Completed requests per class (interactive, batch).
+    pub class_completed: [u64; RequestClass::COUNT],
+    /// Shed requests per class.
+    pub class_shed: [u64; RequestClass::COUNT],
+    /// Failed requests per class.
+    pub class_failed: [u64; RequestClass::COUNT],
+    /// Completed requests over their class deadline (0 without classes).
+    pub class_violations: [u64; RequestClass::COUNT],
+    /// 99th-percentile end-to-end latency per class, completed requests
+    /// only (0 for an empty class).
+    pub class_p99_e2e: [u64; RequestClass::COUNT],
 }
 
 /// Drill counters threaded from the event loop into the summary.
@@ -2841,6 +3472,19 @@ pub struct DrillStats {
     pub retries: u64,
     /// Largest simultaneously-available fleet.
     pub peak_engines: usize,
+}
+
+/// Scenario-lab counters (deadline classes + brownout) threaded from
+/// the event loop into the summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabStats {
+    /// Batch requests preempted by interactive arrivals.
+    pub preemptions: u64,
+    /// Cycles spent on each degradation rung, clipped at the makespan
+    /// (all zero when brownout is off).
+    pub mode_cycles: [u64; DegradeMode::COUNT],
+    /// Per-class deadline budget in cycles (zero when classes are off).
+    pub class_ddl: [u64; RequestClass::COUNT],
 }
 
 impl QueueSummary {
@@ -2859,6 +3503,7 @@ impl QueueSummary {
         engine_busy: &[u64],
         engine_uptime: &[u64],
         drill: &DrillStats,
+        lab: &LabStats,
         cfg: &QueueConfig,
         formats: &[ServeFormat],
     ) -> Self {
@@ -2897,12 +3542,48 @@ impl QueueSummary {
             .iter()
             .map(|f| (f.label().to_string(), 0u64))
             .collect();
+        if cfg.degrade.is_some() {
+            // Lite reports are a pseudo-format one past the palette.
+            dispatch.push(("lite".to_string(), 0));
+        }
         let mut err_sum = 0.0;
+        let mut degraded = 0u64;
         for r in records {
             let slot = r.format.min(dispatch.len() - 1);
             dispatch[slot].1 += 1;
             let actual = r.service_cycles.max(1) as f64;
             err_sum += (r.predicted_cycles as f64 - actual).abs() / actual;
+            degraded += u64::from(r.degraded);
+        }
+        // Per-class partitions re-derive each request's class from the
+        // seeded hash, so shed and failed records need no extra field.
+        let mut class_completed = [0u64; RequestClass::COUNT];
+        let mut class_shed = [0u64; RequestClass::COUNT];
+        let mut class_failed = [0u64; RequestClass::COUNT];
+        let mut class_violations = [0u64; RequestClass::COUNT];
+        let mut class_p99_e2e = [0u64; RequestClass::COUNT];
+        if let Some(pol) = &cfg.classes {
+            let frac = pol.interactive_frac;
+            let mut class_e2e: [Vec<u64>; RequestClass::COUNT] = [Vec::new(), Vec::new()];
+            for r in records {
+                let c = class_of(cfg.seed, r.index, frac).idx();
+                class_completed[c] += 1;
+                let e2e = r.e2e_cycles();
+                class_e2e[c].push(e2e);
+                if e2e > lab.class_ddl[c] {
+                    class_violations[c] += 1;
+                }
+            }
+            for s in shed {
+                class_shed[class_of(cfg.seed, s.index, frac).idx()] += 1;
+            }
+            for f in failed {
+                class_failed[class_of(cfg.seed, f.index, frac).idx()] += 1;
+            }
+            for (c, e2es) in class_e2e.iter_mut().enumerate() {
+                e2es.sort_unstable();
+                class_p99_e2e[c] = percentile(e2es, 99);
+            }
         }
         QueueSummary {
             requests: offered,
@@ -2961,6 +3642,22 @@ impl QueueSummary {
             format_policy: cfg.format.label(),
             format_dispatch: dispatch,
             format_pred_err: div(err_sum, completed as f64),
+            classes: cfg
+                .classes
+                .as_ref()
+                .map_or_else(|| "none".to_string(), ClassPolicy::label),
+            degrade: cfg
+                .degrade
+                .as_ref()
+                .map_or_else(|| "none".to_string(), DegradePolicy::label),
+            preemptions: lab.preemptions,
+            degraded,
+            mode_cycles: lab.mode_cycles,
+            class_completed,
+            class_shed,
+            class_failed,
+            class_violations,
+            class_p99_e2e,
         }
     }
 
@@ -2970,7 +3667,7 @@ impl QueueSummary {
     pub fn to_json(&self, label: &str) -> String {
         let label = label.replace('\\', "\\\\").replace('"', "\\\"");
         format!(
-            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {},\n  \"cost_units\": {:.3},\n  \"format_policy\": \"{}\",\n  \"format_dispatch\": {{{}}},\n  \"format_pred_err\": {:.6}\n}}\n",
+            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {},\n  \"cost_units\": {:.3},\n  \"format_policy\": \"{}\",\n  \"format_dispatch\": {{{}}},\n  \"format_pred_err\": {:.6},\n  \"classes\": \"{}\",\n  \"degrade\": \"{}\",\n  \"preemptions\": {},\n  \"degraded\": {},\n  \"mode_cycles\": {{\"full\": {}, \"cheap_fixed\": {}, \"lite\": {}}},\n  \"class_completed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_shed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_failed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_violations\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_p99_e2e\": {{\"interactive\": {}, \"batch\": {}}}\n}}\n",
             self.requests,
             self.engines,
             self.policy,
@@ -3016,6 +3713,23 @@ impl QueueSummary {
                 .collect::<Vec<_>>()
                 .join(", "),
             self.format_pred_err,
+            self.classes,
+            self.degrade,
+            self.preemptions,
+            self.degraded,
+            self.mode_cycles[0],
+            self.mode_cycles[1],
+            self.mode_cycles[2],
+            self.class_completed[0],
+            self.class_completed[1],
+            self.class_shed[0],
+            self.class_shed[1],
+            self.class_failed[0],
+            self.class_failed[1],
+            self.class_violations[0],
+            self.class_violations[1],
+            self.class_p99_e2e[0],
+            self.class_p99_e2e[1],
         )
     }
 }
@@ -3471,6 +4185,8 @@ mod tests {
             },
             class_reports: Vec::new(),
             formats: Vec::new(),
+            lite_reports: Vec::new(),
+            lite_vertices: Vec::new(),
         }
     }
 
@@ -4182,6 +4898,151 @@ mod tests {
         assert!(j.contains("\"format_policy\": \"fixed:native\""), "{j}");
         assert!(j.contains("\"format_dispatch\": {\"native\": "), "{j}");
         assert!(j.contains("\"format_pred_err\": "), "{j}");
+        assert!(j.contains("\"classes\": \"none\""), "{j}");
+        assert!(j.contains("\"degrade\": \"none\""), "{j}");
+        assert!(j.contains("\"mode_cycles\": {\"full\": "), "{j}");
         assert!(!j.contains("inf") && !j.contains("NaN"), "{j}");
+    }
+
+    #[test]
+    fn availability_stays_finite_when_a_drill_run_sheds_everything() {
+        // Regression guard (satellite): a drilled fleet opens an
+        // up-interval at t=0 that is still open when the run ends; with
+        // every request shed the makespan is 0, so the open intervals
+        // must clip to nothing instead of producing inf/NaN ratios.
+        let (_ctx, prepared, row) = prepared_tiny(10, 2);
+        let hw = HwConfig::default();
+        let cfg = qcfg(2, SchedPolicy::LeastLoaded)
+            .with_slo(SloConfig::new(1, true))
+            .with_faults(FailureModel::mtbf_default());
+        let out = simulate_queue(&prepared, &cfg, &hw, row);
+        assert!(out.records.is_empty(), "1-cycle budget sheds everything");
+        assert_eq!(out.shed.len() + out.failed.len(), 10, "conservation");
+        let s = &out.summary;
+        assert_eq!(s.makespan_cycles, 0);
+        assert_eq!(s.availability, 0.0);
+        assert_eq!(s.utilization, 0.0);
+        assert!(out.engine_uptime.iter().all(|&u| u == 0));
+        let json = s.to_json("all-shed-drill");
+        assert!(
+            !json.contains("inf") && !json.contains("NaN") && !json.contains("nan"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn class_partitions_conserve_exactly_and_match_the_seeded_mix() {
+        let (_ctx, prepared, row) = prepared_tiny(30, 5);
+        let hw = HwConfig::default();
+        let pol = ClassPolicy::mix(0.4);
+        let cfg = QueueConfig::new(2, SchedPolicy::LeastLoaded, 1.8, 7)
+            .with_classes(pol)
+            .with_faults(FailureModel::mtbf_default())
+            .with_retry(RetryPolicy::new(2, 100));
+        let out = simulate_queue(&prepared, &cfg, &hw, row);
+        let s = &out.summary;
+        // The partitions sum back to the run totals...
+        assert_eq!(s.class_completed.iter().sum::<u64>(), s.completed as u64);
+        assert_eq!(s.class_shed.iter().sum::<u64>(), s.shed);
+        assert_eq!(s.class_failed.iter().sum::<u64>(), s.failed);
+        // ...and each class partition is exactly its offered share,
+        // recounted from the same seeded hash the loop used.
+        let mut offered = [0u64; RequestClass::COUNT];
+        for i in 0..30 {
+            offered[class_of(cfg.seed, i, pol.interactive_frac).idx()] += 1;
+        }
+        assert!(offered.iter().all(|&o| o > 0), "mix produced both classes");
+        for (c, &off) in offered.iter().enumerate() {
+            assert_eq!(
+                s.class_completed[c] + s.class_shed[c] + s.class_failed[c],
+                off,
+                "class {c} conservation"
+            );
+        }
+    }
+
+    #[test]
+    fn preemption_fires_under_overload_and_helps_the_interactive_tail() {
+        let (_ctx, prepared, row) = prepared_tiny(40, 5);
+        let hw = HwConfig::default();
+        let base = QueueConfig::new(2, SchedPolicy::LeastLoaded, 1.3, 11)
+            .with_traffic(TrafficModel::bursty_default());
+        let plain = base.clone().with_classes(ClassPolicy::mix(0.3));
+        let pre = base.with_classes(ClassPolicy::mix(0.3).with_preemption());
+        let a = simulate_queue(&prepared, &plain, &hw, row);
+        let b = simulate_queue(&prepared, &pre, &hw, row);
+        assert_eq!(a.summary.preemptions, 0, "preemption off");
+        assert!(b.summary.preemptions > 0, "overload triggers preemption");
+        // Preempted batch work still terminates: conservation is exact.
+        assert_eq!(b.records.len() + b.shed.len() + b.failed.len(), 40);
+        let i = RequestClass::Interactive.idx();
+        // Preemption protects the interactive class on both axes: fewer
+        // interactive sheds (admission predicts the post-preemption
+        // wait) and a no-worse served tail.
+        assert!(
+            b.summary.class_shed[i] <= a.summary.class_shed[i],
+            "interactive shed {} with preemption vs {} without",
+            b.summary.class_shed[i],
+            a.summary.class_shed[i]
+        );
+        assert!(
+            a.summary.class_completed[i] > 0,
+            "baseline must serve interactives for the p99 comparison"
+        );
+        assert!(
+            b.summary.class_p99_e2e[i] <= a.summary.class_p99_e2e[i],
+            "interactive p99 {} with preemption vs {} without",
+            b.summary.class_p99_e2e[i],
+            a.summary.class_p99_e2e[i]
+        );
+    }
+
+    #[test]
+    fn brownout_descends_under_overload_and_recovery_accounting_closes() {
+        let ctx = tiny_ctx();
+        let stream = ctx.hotspot_stream(24, 4);
+        let base = HwConfig::default();
+        let lineup = EngineLineup::mixed(2, base);
+        let prepared = prepare_degraded(
+            &ctx,
+            &stream,
+            &AccelModel::sgcn(),
+            &lineup,
+            &ServeFormat::PALETTE,
+        );
+        assert!(prepared
+            .iter()
+            .all(|p| p.lite_reports.len() == lineup.classes.len() && !p.lite_vertices.is_empty()));
+        let row = feature_row_bytes(&ctx);
+        let cfg = QueueConfig::new(2, SchedPolicy::LeastLoaded, 2.5, 7)
+            .with_lineup(lineup)
+            .with_format(FormatPolicy::Adaptive)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_degrade(DegradePolicy::default());
+        let out = simulate_queue(&prepared, &cfg, &base, row);
+        let s = &out.summary;
+        // No faults: every event lands at or before the last completion,
+        // so rung residency telescopes to exactly the makespan.
+        assert_eq!(
+            s.mode_cycles.iter().sum::<u64>(),
+            s.makespan_cycles,
+            "residency covers the run"
+        );
+        assert!(
+            s.mode_cycles[1] + s.mode_cycles[2] > 0,
+            "2.5x overload browns out: {:?}",
+            s.mode_cycles
+        );
+        assert!(s.degraded > 0, "some completions served degraded");
+        assert_eq!(
+            s.format_dispatch.last().map(|(l, _)| l.as_str()),
+            Some("lite"),
+            "degrade runs carry the lite dispatch slot"
+        );
+        let json = s.to_json("brownout");
+        assert!(
+            !json.contains("inf") && !json.contains("NaN") && !json.contains("nan"),
+            "{json}"
+        );
     }
 }

@@ -115,6 +115,149 @@ impl SloStats {
     }
 }
 
+/// The deadline class of one request. A production stream mixes
+/// latency-sensitive *interactive* traffic (tight deadline, shed on
+/// overload, generous retries — a user is waiting) with *batch*
+/// traffic (loose deadline, never shed, few retries — a pipeline will
+/// re-run). The class is assigned per request from the seeded mix in
+/// [`ClassPolicy`], so it is pure in `(seed, request index)` and
+/// thread-schedule independent like every other arrival property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RequestClass {
+    /// Latency-sensitive foreground traffic.
+    Interactive = 0,
+    /// Throughput-oriented background traffic.
+    Batch = 1,
+}
+
+impl RequestClass {
+    /// Number of classes (the length of every per-class summary array).
+    pub const COUNT: usize = 2;
+
+    /// Stable report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestClass::Interactive => "interactive",
+            RequestClass::Batch => "batch",
+        }
+    }
+
+    /// Index into per-class arrays.
+    pub fn idx(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// The per-class service contract: a deadline expressed in mean cold
+/// services (materialized to cycles once the prepared stream's mean
+/// service time is known), the shed switch, and the class's own retry
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSlo {
+    /// Deadline in multiples of the stream's mean cold service time.
+    pub deadline_services: f64,
+    /// Whether admission control sheds this class on predicted misses.
+    pub shed: bool,
+    /// Dispatch-attempt ceiling for this class under failure drills.
+    pub max_attempts: u32,
+}
+
+/// Deadline-class mix of one queueing run: the seeded interactive
+/// fraction, both class contracts, and the preemption switch (an
+/// arriving interactive request may preempt an in-service batch
+/// request; the preempted work re-queues and its residual re-prices
+/// against the warm cache). Mutually exclusive with the single-class
+/// [`SloConfig`] knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassPolicy {
+    /// Probability that a request is interactive, drawn pure from
+    /// `(seed, request index)`.
+    pub interactive_frac: f64,
+    /// Contract of the interactive class.
+    pub interactive: ClassSlo,
+    /// Contract of the batch class.
+    pub batch: ClassSlo,
+    /// Whether interactive arrivals preempt in-service batch work.
+    pub preempt: bool,
+    /// Per-request preemption ceiling — a batch request preempted this
+    /// many times can no longer be chosen as a victim, so conservation
+    /// cannot livelock (every preempted request still terminates).
+    pub max_preemptions: u32,
+}
+
+impl ClassPolicy {
+    /// The default two-class contract: interactive sheds at 3 mean
+    /// services with 3 attempts; batch never sheds, runs to a 12-mean-
+    /// service deadline with 2 attempts.
+    pub fn mix(interactive_frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&interactive_frac),
+            "interactive fraction must be in [0, 1], got {interactive_frac}"
+        );
+        ClassPolicy {
+            interactive_frac,
+            interactive: ClassSlo {
+                deadline_services: 3.0,
+                shed: true,
+                max_attempts: 3,
+            },
+            batch: ClassSlo {
+                deadline_services: 12.0,
+                shed: false,
+                max_attempts: 2,
+            },
+            preempt: false,
+            max_preemptions: 2,
+        }
+    }
+
+    /// Enables batch preemption by interactive arrivals.
+    pub fn with_preemption(mut self) -> Self {
+        self.preempt = true;
+        self
+    }
+
+    /// The contract of `class`.
+    pub fn slo(&self, class: RequestClass) -> &ClassSlo {
+        match class {
+            RequestClass::Interactive => &self.interactive,
+            RequestClass::Batch => &self.batch,
+        }
+    }
+
+    /// Stable report label, e.g. `classes:0.30+preempt`.
+    pub fn label(&self) -> String {
+        let p = if self.preempt { "+preempt" } else { "" };
+        format!("classes:{:.2}{p}", self.interactive_frac)
+    }
+
+    /// Parses the `SGCN_CLASSES` knob. `Some(None)` for the explicit
+    /// single-class spellings (`none` / `off` / empty), `Some(Some(_))`
+    /// for `mix:<frac>` and `mix:<frac>+preempt`, `None` for anything
+    /// else (callers hard-error listing the valid spellings).
+    pub fn parse(text: &str) -> Option<Option<ClassPolicy>> {
+        let t = text.trim();
+        if t.is_empty() || t == "none" || t == "off" {
+            return Some(None);
+        }
+        let rest = t.strip_prefix("mix:")?;
+        let (frac, preempt) = match rest.strip_suffix("+preempt") {
+            Some(head) => (head, true),
+            None => (rest, false),
+        };
+        let frac: f64 = frac.parse().ok()?;
+        if !(0.0..=1.0).contains(&frac) || !frac.is_finite() {
+            return None;
+        }
+        let policy = ClassPolicy::mix(frac);
+        Some(Some(if preempt {
+            policy.with_preemption()
+        } else {
+            policy
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +309,49 @@ mod tests {
         };
         assert_eq!(all_shed.shed_rate(), 1.0);
         assert_eq!(all_shed.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn class_policy_parse_and_label_round_trip() {
+        assert_eq!(ClassPolicy::parse(""), Some(None));
+        assert_eq!(ClassPolicy::parse("none"), Some(None));
+        assert_eq!(ClassPolicy::parse("off"), Some(None));
+        let plain = ClassPolicy::parse("mix:0.3").unwrap().unwrap();
+        assert!(!plain.preempt);
+        assert_eq!(plain.label(), "classes:0.30");
+        let preempting = ClassPolicy::parse("mix:0.3+preempt").unwrap().unwrap();
+        assert!(preempting.preempt);
+        assert_eq!(preempting.label(), "classes:0.30+preempt");
+        assert!((preempting.interactive_frac - 0.3).abs() < 1e-12);
+        // Interactive is the tight contract, batch the loose one.
+        assert!(preempting.interactive.deadline_services < preempting.batch.deadline_services);
+        assert!(preempting.interactive.shed && !preempting.batch.shed);
+        for bad in [
+            "mix:", "mix:x", "mix:1.5", "mix:-0.1", "mix:nan", "classes", "0.3",
+        ] {
+            assert_eq!(ClassPolicy::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interactive fraction")]
+    fn out_of_range_mix_panics() {
+        let _ = ClassPolicy::mix(1.2);
+    }
+
+    #[test]
+    fn class_slo_lookup_matches_fields() {
+        let p = ClassPolicy::mix(0.5);
+        assert_eq!(
+            p.slo(RequestClass::Interactive).max_attempts,
+            p.interactive.max_attempts
+        );
+        assert_eq!(
+            p.slo(RequestClass::Batch).max_attempts,
+            p.batch.max_attempts
+        );
+        assert_eq!(RequestClass::Interactive.idx(), 0);
+        assert_eq!(RequestClass::Batch.idx(), 1);
+        assert_eq!(RequestClass::COUNT, 2);
     }
 }

@@ -125,6 +125,89 @@ impl ArrivalTrace {
             times: self.times.clone(),
         }
     }
+
+    /// Ingests a plain timestamp-per-line production log into an
+    /// arrival trace. One finite, non-decreasing timestamp per line (any
+    /// unit — seconds, millis, whatever the log emits); blank lines and
+    /// `#` comments are skipped. The timeline is normalized to start at
+    /// 0 and **rescaled** so its mean inter-arrival gap equals
+    /// `target_mean_gap_cycles` — the seam that lets one real morning's
+    /// burstiness drive a simulated fleet at any offered load. Logs with
+    /// fewer than two distinct instants carry no rate information and
+    /// ingest as all-zero arrival times (an instantaneous burst).
+    ///
+    /// # Errors
+    ///
+    /// A malformed line (non-numeric, non-finite, or decreasing vs its
+    /// predecessor) is a hard error naming the 1-based line number —
+    /// real logs are ingested verbatim or not at all, never silently
+    /// patched.
+    pub fn from_timestamp_log(
+        text: &str,
+        target_mean_gap_cycles: f64,
+    ) -> Result<ArrivalTrace, String> {
+        assert!(
+            target_mean_gap_cycles.is_finite() && target_mean_gap_cycles >= 0.0,
+            "target mean gap must be finite and non-negative, got {target_mean_gap_cycles}"
+        );
+        let mut stamps: Vec<f64> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let stamp: f64 = line
+                .parse()
+                .map_err(|_| format!("line {}: {line:?} is not a timestamp", lineno + 1))?;
+            if !stamp.is_finite() {
+                return Err(format!(
+                    "line {}: non-finite timestamp {line:?}",
+                    lineno + 1
+                ));
+            }
+            if let Some(&prev) = stamps.last() {
+                if stamp < prev {
+                    return Err(format!(
+                        "line {}: timestamp {stamp} decreases below {prev} — arrival logs must be sorted",
+                        lineno + 1
+                    ));
+                }
+            }
+            stamps.push(stamp);
+        }
+        let times = match (stamps.first(), stamps.last()) {
+            (Some(&first), Some(&last)) if last > first => {
+                // Observed mean gap over n-1 intervals; scale it onto
+                // the requested one. Rounding each instant (not each
+                // gap) keeps the rescaled timeline non-decreasing.
+                let scale = target_mean_gap_cycles * (stamps.len() - 1) as f64 / (last - first);
+                stamps
+                    .iter()
+                    .map(|&s| ((s - first) * scale).round() as u64)
+                    .collect()
+            }
+            _ => vec![0; stamps.len()],
+        };
+        Ok(ArrivalTrace::new(format!("log:{}", times.len()), times))
+    }
+
+    /// [`Self::from_timestamp_log`] over a file path — the
+    /// `SGCN_LOG_INGEST` seam.
+    ///
+    /// # Panics
+    ///
+    /// A missing/unreadable path or a malformed log is a hard error
+    /// describing the expected format (the same no-silent-fallback
+    /// convention as the dispatch knobs): one finite, non-decreasing
+    /// timestamp per line, blank lines and `#` comments ignored.
+    pub fn from_timestamp_file(path: &str, target_mean_gap_cycles: f64) -> ArrivalTrace {
+        const EXPECTED: &str = "expected a plain timestamp log: one finite, non-decreasing \
+             timestamp per line (any unit), blank lines and '#' comments ignored";
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read timestamp log {path:?}: {e} — {EXPECTED}"));
+        ArrivalTrace::from_timestamp_log(&text, target_mean_gap_cycles)
+            .unwrap_or_else(|e| panic!("malformed timestamp log {path:?}: {e} — {EXPECTED}"))
+    }
 }
 
 /// Extracts the string value of `"key": "value"`, unescaping the two
@@ -264,6 +347,62 @@ mod tests {
         // Beyond the recording the timeline saturates (no invented
         // arrivals).
         assert_eq!(model.timeline(7), vec![4, 4, 9, 30, 31, 31, 31]);
+    }
+
+    #[test]
+    fn timestamp_log_ingests_normalizes_and_rescales() {
+        // Seconds-unit log with comments/blanks: gaps 1, 3, 0, 2 (mean
+        // 1.5 s). Rescaling to a 3000-cycle mean gap doubles into
+        // cycles per second = 2000.
+        let log = "# morning burst\n10.0\n11.0\n\n14.0\n14.0\n16.0\n";
+        let trace = ArrivalTrace::from_timestamp_log(log, 3000.0).expect("ingests");
+        assert_eq!(trace.times, vec![0, 2000, 8000, 8000, 12000]);
+        assert_eq!(trace.traffic, "log:5");
+        // The rescaled mean gap hits the target exactly.
+        assert_eq!(trace.times.last().unwrap() / (trace.len() as u64 - 1), 3000);
+        // Replays through the standard seam.
+        assert_eq!(trace.arrivals().timeline(5), trace.times);
+    }
+
+    #[test]
+    fn timestamp_log_hard_errors_name_the_line() {
+        let unsorted = ArrivalTrace::from_timestamp_log("5.0\n4.0\n", 1000.0);
+        assert!(
+            unsorted.as_ref().unwrap_err().contains("line 2"),
+            "{unsorted:?}"
+        );
+        assert!(unsorted.unwrap_err().contains("must be sorted"));
+        let garbage = ArrivalTrace::from_timestamp_log("1.0\nbogus\n", 1000.0);
+        assert!(garbage.unwrap_err().contains("line 2"));
+        let nonfinite = ArrivalTrace::from_timestamp_log("1.0\ninf\n3.0\n", 1000.0);
+        assert!(nonfinite.unwrap_err().contains("non-finite"));
+    }
+
+    #[test]
+    fn degenerate_timestamp_logs_ingest_as_bursts() {
+        // Empty and single-line logs carry no rate information.
+        assert!(ArrivalTrace::from_timestamp_log("", 1000.0)
+            .expect("empty ok")
+            .is_empty());
+        assert_eq!(
+            ArrivalTrace::from_timestamp_log("42.0\n", 1000.0)
+                .expect("single ok")
+                .times,
+            vec![0]
+        );
+        // All-identical stamps: an instantaneous burst, all zeros.
+        assert_eq!(
+            ArrivalTrace::from_timestamp_log("7.0\n7.0\n7.0\n", 1000.0)
+                .expect("flat ok")
+                .times,
+            vec![0, 0, 0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a plain timestamp log")]
+    fn missing_timestamp_file_is_a_hard_error() {
+        let _ = ArrivalTrace::from_timestamp_file("/nonexistent/arrivals.log", 1000.0);
     }
 
     #[test]

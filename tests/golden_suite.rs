@@ -375,6 +375,66 @@ fn check_queue_format_summary_golden() {
     assert_matches_golden("queue_format_quick.json", &json);
 }
 
+/// The deadline-class / brownout queueing summary (a class mix with
+/// preemption and the degrade ladder on the degraded mixed-lineup
+/// preparation, under bursty overload with MTBF drills) must match its
+/// snapshot — pinning the seeded class draw, per-class EDF and
+/// admission, the preemption path, the one-rung brownout ladder and its
+/// residency accounting in one trace. The cell must actually exercise
+/// the lab: preemptions fired, completions degraded, and the ladder
+/// left full service. Called from the single env-touching test below
+/// for the same reason as [`check_serve_summary_golden`].
+fn check_queue_class_summary_golden() {
+    use sgcn::accel::AccelModel;
+    use sgcn::serving::queueing::{
+        feature_row_bytes, prepare_degraded, simulate_queue, ClassPolicy, DegradePolicy,
+        EngineLineup, FailureModel, FormatPolicy, QueueConfig, RetryPolicy, SchedPolicy,
+        ServeFormat, TrafficModel,
+    };
+    use sgcn::serving::{ServingConfig, ServingContext};
+
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts: sgcn_graph::sampling::Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.hotspot_stream(60, 10);
+    let lineup = EngineLineup::mixed(4, cfg.hw());
+    let prepared = prepare_degraded(
+        &ctx,
+        &stream,
+        &AccelModel::sgcn(),
+        &lineup,
+        &ServeFormat::PALETTE,
+    );
+    let qcfg = QueueConfig::new(4, SchedPolicy::CostAware, 1.4, cfg.seed)
+        .with_traffic(TrafficModel::bursty_default())
+        .with_lineup(lineup)
+        .with_format(FormatPolicy::Adaptive)
+        .with_faults(FailureModel::mtbf_default())
+        .with_retry(RetryPolicy::new(2, 0))
+        .with_classes(ClassPolicy::mix(0.3).with_preemption())
+        .with_degrade(DegradePolicy::default());
+    let out = simulate_queue(&prepared, &qcfg, &cfg.hw(), feature_row_bytes(&ctx));
+    let s = &out.summary;
+    assert!(s.preemptions > 0, "the pinned lab cell must preempt");
+    assert!(s.degraded > 0, "the pinned lab cell must degrade");
+    assert!(
+        s.mode_cycles[1] + s.mode_cycles[2] > 0,
+        "the pinned lab cell must leave full service"
+    );
+    assert_eq!(
+        s.mode_cycles.iter().sum::<u64>(),
+        s.makespan_cycles,
+        "mode residency must partition the makespan"
+    );
+    let json = s.to_json("PM fanout 10x5 SGCN x4 cost-aware bursty lab classes+brownout");
+    assert_matches_golden("queue_class_quick.json", &json);
+}
+
 /// The full rendered quick suite must match the snapshot on both the
 /// default (fast) path and the `SGCN_NAIVE=1` seed-replay path, and the
 /// serving and queueing summaries must match their snapshots. Everything
@@ -395,6 +455,7 @@ fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
     check_queue_drill_summary_golden();
     check_queue_lineup_summary_golden();
     check_queue_format_summary_golden();
+    check_queue_class_summary_golden();
 
     std::env::set_var("SGCN_NAIVE", "1");
     let naive = sgcn_bench::run_suite(&cfg, &datasets, true);

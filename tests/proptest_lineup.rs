@@ -57,6 +57,8 @@ fn fab(index: usize, cycles: u64, eco_x10: u64, vertices: Vec<u32>) -> PreparedR
         class_reports: vec![report.clone(), eco],
         report,
         formats: Vec::new(),
+        lite_reports: Vec::new(),
+        lite_vertices: Vec::new(),
     }
 }
 

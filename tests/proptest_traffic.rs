@@ -47,6 +47,8 @@ fn fab(index: usize, cycles: u64, feature_read_bytes: u64, vertices: Vec<u32>) -
         stats: Default::default(),
         class_reports: Vec::new(),
         formats: Vec::new(),
+        lite_reports: Vec::new(),
+        lite_vertices: Vec::new(),
     }
 }
 

@@ -9,8 +9,9 @@
 use sgcn::accel::AccelModel;
 use sgcn::experiments::ExperimentConfig;
 use sgcn::serving::queueing::{
-    feature_row_bytes, prepare, simulate_queue, FailureModel, FleetSpec, QueueConfig, RetryPolicy,
-    ScalePolicy, SchedPolicy, SloConfig, TrafficModel,
+    feature_row_bytes, prepare, prepare_degraded, simulate_queue, ClassPolicy, DegradePolicy,
+    EngineLineup, FailureModel, FleetSpec, FormatPolicy, QueueConfig, RetryPolicy, ScalePolicy,
+    SchedPolicy, ServeFormat, SloConfig, TrafficModel,
 };
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn::HwConfig;
@@ -88,6 +89,46 @@ fn queue_probe() -> Vec<String> {
     let replay = simulate_queue(&prepared, &drill_cfg.with_trace(trace), &hw, row);
     assert_eq!(replay.summary, drill.summary, "drill replay diverged");
     out.push(replay.summary.to_json("drill-replay"));
+    // Scenario-lab cells: deadline classes with preemption under
+    // overload and drills, then the brownout ladder on the degraded
+    // preparation (lineup + adaptive dispatch), with and without the
+    // degrade policy — the preparation itself is the parallel stage the
+    // worker count exercises.
+    let class_cfg = QueueConfig::new(3, SchedPolicy::CacheAffinity, 1.3, 7)
+        .with_traffic(TrafficModel::bursty_default())
+        .with_faults(FailureModel::mtbf_default())
+        .with_retry(RetryPolicy::new(2, mean / 4))
+        .with_classes(ClassPolicy::mix(0.3).with_preemption());
+    out.push(
+        simulate_queue(&prepared, &class_cfg, &hw, row)
+            .summary
+            .to_json("classes-preempt"),
+    );
+    let lineup = EngineLineup::mixed(3, hw);
+    let degraded = prepare_degraded(
+        &ctx,
+        &stream,
+        &AccelModel::sgcn(),
+        &lineup,
+        &ServeFormat::PALETTE,
+    );
+    for (name, brownout) in [("classes-lab-off", false), ("classes-lab-on", true)] {
+        let mut lab_cfg = QueueConfig::new(3, SchedPolicy::CostAware, 1.5, 7)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_lineup(lineup.clone())
+            .with_format(FormatPolicy::Adaptive)
+            .with_faults(FailureModel::mtbf_default())
+            .with_retry(RetryPolicy::new(2, mean / 4))
+            .with_classes(ClassPolicy::mix(0.3).with_preemption());
+        if brownout {
+            lab_cfg = lab_cfg.with_degrade(DegradePolicy::default());
+        }
+        out.push(
+            simulate_queue(&degraded, &lab_cfg, &hw, row)
+                .summary
+                .to_json(name),
+        );
+    }
     out
 }
 
