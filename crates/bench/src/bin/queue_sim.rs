@@ -20,8 +20,8 @@
 //!   all-zero summary instead of aborting),
 //! * `SGCN_LOAD` — offered load ρ (default 0.8),
 //! * `SGCN_ENGINES` — engine count (default 4),
-//! * `SGCN_POLICY` — `fifo` / `least` / `affinity` / `slo` (default
-//!   `affinity`),
+//! * `SGCN_POLICY` — `fifo` / `least` / `affinity` / `slo` / `cost` /
+//!   `shard` (default `affinity`),
 //! * `SGCN_TRAFFIC` — `exp` / `bursty` / `diurnal` / `closed[:K]`
 //!   (default `exp`),
 //! * `SGCN_SLO_CYCLES` — end-to-end deadline in cycles with load
@@ -66,6 +66,14 @@
 //!   class mixes under a drills-on overload) and write
 //!   `BENCH_capacity.json` (`SGCN_CAPACITY_OUT`) instead of a single
 //!   run,
+//! * `SGCN_SHARDS` — sharded feature store: a shard count ≥ 1 wires the
+//!   single run through a contiguous-range shard plan (cross-shard
+//!   neighbor rows pay a modeled network bill), or `sweep` to run the
+//!   shard-count × hub-replication × routing grid plus a million-vertex
+//!   power-law plan and write `BENCH_shard.json` (`SGCN_SHARD_OUT`)
+//!   with a locality-wins verdict (default: unset — no sharding),
+//! * `SGCN_REPLICATE` — hub vertices replicated to every shard, by
+//!   descending degree (needs `SGCN_SHARDS`; default 0),
 //! * `SGCN_TRACE_RECORD` — write the run's arrival trace to this path,
 //! * `SGCN_TRACE_REPLAY` — replay a recorded arrival trace from this
 //!   path instead of generating traffic,
@@ -80,12 +88,14 @@ use sgcn::serving::queueing::{
     feature_row_bytes, prepare, prepare_degraded, prepare_lineup, prepare_matrix, simulate_queue,
     ArrivalTrace, ClassPolicy, DegradePolicy, EngineLineup, FailureModel, FleetSpec, FormatPolicy,
     QueueConfig, QueueSummary, RequestClass, RetryPolicy, ScalePolicy, SchedPolicy, ServeFormat,
-    SloConfig, TrafficModel,
+    ShardPlan, SloConfig, TrafficModel,
 };
 use sgcn::serving::{ServingConfig, ServingContext};
 use sgcn_bench::{banner, experiment_config};
 use sgcn_graph::datasets::DatasetId;
+use sgcn_graph::generate::power_law;
 use sgcn_graph::sampling::Fanouts;
+use sgcn_graph::Normalization;
 
 fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
     std::env::var(key)
@@ -101,7 +111,7 @@ fn knob<T>(key: &str, value: &str, valid: &str, parse: impl FnOnce(&str) -> Opti
 }
 
 /// Valid spellings per knob, surfaced verbatim in abort messages.
-const POLICY_VALUES: &str = "fifo, least, affinity, slo, cost";
+const POLICY_VALUES: &str = "fifo, least, affinity, slo, cost, shard";
 const TRAFFIC_VALUES: &str = "exp, bursty, diurnal, closed[:CLIENTS]";
 const FLEET_VALUES: &str =
     "uniform, steal, mixed, mixed-steal, or a comma-separated scale list (optionally +steal)";
@@ -112,6 +122,8 @@ const AUTOSCALE_VALUES: &str = "none, auto[:MIN[:PROVISION_CYCLES]]";
 const CLASSES_VALUES: &str = "none, mix:FRAC, mix:FRAC+preempt (FRAC in [0,1])";
 const DEGRADE_VALUES: &str = "none, brownout, brownout:DOWN,UP[,COOLDOWN] (DOWN > UP >= 0)";
 const CAPACITY_VALUES: &str = "sweep";
+const SHARDS_VALUES: &str = "a shard count >= 1, or sweep";
+const REPLICATE_VALUES: &str = "a non-negative hub-replication count";
 const TRACE_FORMAT: &str = "an arrival-trace JSON written by SGCN_TRACE_RECORD \
      ({\"trace\": \"sgcn-arrivals\", \"version\": 1, \"traffic\": ..., \"times\": [...]})";
 
@@ -576,6 +588,164 @@ fn capacity_plan(requests: usize, engines: usize, load: f64, hotspot: usize) {
     println!("wrote {path}");
 }
 
+/// The sharded-store planner behind `BENCH_shard.json`: shard count ×
+/// hub replication × {shard-oblivious least-loaded, shard-affinity}
+/// routing under bursty traffic, one shared preparation for every cell.
+/// A million-vertex power-law graph (2²⁰ vertices at paper scale, 2¹⁶
+/// in quick mode) exercises the plan builder at the scale the ROADMAP
+/// asks for — plan stats only, the serving cells run on the suite
+/// dataset. The verdict totals cross-shard bytes across every
+/// `(shards, hubs)` point: locality wins iff shard-affinity completes
+/// exactly as many requests as least-loaded everywhere and moves
+/// strictly fewer bytes overall. Every byte of the JSON is a pure
+/// function of `(stream, knobs)`.
+fn shard_sweep(requests: usize, engines: usize, load: f64, hotspot: usize) {
+    let cfg = experiment_config();
+    let hw = cfg.hw();
+    let fanouts = Fanouts::new(vec![10, 5]);
+    let label = format!(
+        "{} fanout {} SGCN x{engines} shard sweep bursty load {load:.2}",
+        DatasetId::PubMed.abbrev(),
+        fanouts.label()
+    );
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts,
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = if hotspot == 0 {
+        ctx.request_stream(requests)
+    } else {
+        ctx.hotspot_stream(requests, hotspot)
+    };
+    let t0 = std::time::Instant::now();
+    // One preparation (the only parallel stage) serves every cell: the
+    // shard plan changes routing and the network bill, not the work.
+    let prepared = prepare(&ctx, &stream, &AccelModel::sgcn(), &hw);
+    let row_bytes = feature_row_bytes(&ctx);
+    let shard_counts = [2usize, 4, 8];
+    let hub_counts = [0usize, 64];
+    let policies = [SchedPolicy::LeastLoaded, SchedPolicy::ShardAffinity];
+    let mut cells: Vec<(String, &'static str, QueueSummary)> = Vec::new();
+    for &sh in &shard_counts {
+        for &hubs in &hub_counts {
+            let plan = ShardPlan::from_graph(&ctx.dataset.graph, sh, hubs);
+            for policy in policies {
+                let qcfg = QueueConfig::new(engines, policy, load, cfg.seed)
+                    .with_traffic(TrafficModel::bursty_default())
+                    .with_sharding(plan.clone());
+                let s = simulate_queue(&prepared, &qcfg, &hw, row_bytes).summary;
+                println!(
+                    "  {:>9} {:>14}: net {:>10} B / {:>9} cycles, remote {:>5.1}%, p99e {:>9}",
+                    plan.label(),
+                    policy.label(),
+                    s.net_bytes,
+                    s.net_cycles,
+                    s.remote_rate * 100.0,
+                    s.p99_e2e_cycles
+                );
+                cells.push((plan.label(), policy.label(), s));
+            }
+        }
+    }
+    // Locality verdict: pair each (shards, hubs) point's oblivious and
+    // affine cells — they interleave in sweep order.
+    let oblivious: Vec<&QueueSummary> = cells
+        .iter()
+        .filter(|(_, p, _)| *p == SchedPolicy::LeastLoaded.label())
+        .map(|(.., s)| s)
+        .collect();
+    let affine: Vec<&QueueSummary> = cells
+        .iter()
+        .filter(|(_, p, _)| *p == SchedPolicy::ShardAffinity.label())
+        .map(|(.., s)| s)
+        .collect();
+    let equal_completed = oblivious
+        .iter()
+        .zip(&affine)
+        .all(|(o, a)| o.completed == a.completed);
+    let oblivious_bytes: u64 = oblivious.iter().map(|s| s.net_bytes).sum();
+    let affinity_bytes: u64 = affine.iter().map(|s| s.net_bytes).sum();
+    let locality_wins = equal_completed && affinity_bytes < oblivious_bytes;
+
+    // The ROADMAP's million-vertex axis: build a paper-scale power-law
+    // plan and report its shape. Quick mode drops to 2^16 vertices so
+    // the golden/test path stays fast.
+    let scale_pow: u32 = if sgcn_bench::quick_mode() { 16 } else { 20 };
+    let pl_vertices = 1usize << scale_pow;
+    let pl_hubs = pl_vertices / 256;
+    let pl_shards = 8usize;
+    let graph = power_law(pl_vertices, 8.0, 2.1, cfg.seed, Normalization::Unit);
+    let plan = ShardPlan::from_graph(&graph, pl_shards, pl_hubs);
+    let max_degree = plan.hubs().first().map_or(0, |&v| graph.degree(v as usize));
+    let hub_min_degree = plan.hubs().last().map_or(0, |&v| graph.degree(v as usize));
+    let stored_rows: u64 = (0..pl_shards).map(|s| plan.stored_rows(s)).sum();
+    let replicated_rows = stored_rows - pl_vertices as u64;
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "paper scale:     {} plan over 2^{scale_pow} power-law vertices ({} edges) — \
+         hub degree {hub_min_degree}..={max_degree}, {replicated_rows} replicated rows",
+        plan.label(),
+        graph.num_edges()
+    );
+    println!(
+        "verdict:         shard-affinity {affinity_bytes} B vs least-loaded {oblivious_bytes} B \
+         cross-shard (equal completions: {equal_completed}) — locality {}",
+        if locality_wins {
+            "wins"
+        } else {
+            "DOES NOT WIN"
+        }
+    );
+    println!(
+        "host replay:     {wall:.2}s wall ({} cells on {} thread(s))",
+        cells.len(),
+        sgcn_par::threads()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"engines\": {engines},\n"));
+    json.push_str(&format!("  \"offered_load\": {load:.6},\n"));
+    json.push_str(&format!(
+        "  \"paper_scale\": {{\"vertices\": {pl_vertices}, \"edges\": {}, \"alpha\": 2.1, \
+         \"shards\": {pl_shards}, \"hubs\": {pl_hubs}, \"max_degree\": {max_degree}, \
+         \"hub_min_degree\": {hub_min_degree}, \"stored_rows\": {stored_rows}, \
+         \"replicated_rows\": {replicated_rows}}},\n",
+        graph.num_edges()
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, (shards, policy, s)) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": \"{shards}\", \"policy\": \"{policy}\", \"completed\": {}, \
+             \"net_bytes\": {}, \"net_cycles\": {}, \"remote_rate\": {:.6}, \
+             \"p99_e2e_cycles\": {}, \"makespan_cycles\": {}, \"warm_hit_rate\": {:.6}}}{}\n",
+            s.completed,
+            s.net_bytes,
+            s.net_cycles,
+            s.remote_rate,
+            s.p99_e2e_cycles,
+            s.makespan_cycles,
+            s.warm_hit_rate,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"verdict\": {{\"oblivious_net_bytes\": {oblivious_bytes}, \
+         \"affinity_net_bytes\": {affinity_bytes}, \"equal_completed\": {equal_completed}, \
+         \"locality_wins\": {locality_wins}}}\n"
+    ));
+    json.push_str("}\n");
+    let path = std::env::var("SGCN_SHARD_OUT").unwrap_or_else(|_| "BENCH_shard.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_shard.json");
+    println!("wrote {path}");
+}
+
 fn main() {
     banner("BENCH_queue harness (online queueing, multi-engine co-scheduling)");
     let cfg = experiment_config();
@@ -607,6 +777,25 @@ fn main() {
         capacity_plan(requests, engines, load, hotspot);
         return;
     }
+    let shards_spec = std::env::var("SGCN_SHARDS").ok();
+    let replicate_spec = std::env::var("SGCN_REPLICATE").ok();
+    if replicate_spec.is_some() && shards_spec.is_none() {
+        panic!("SGCN_REPLICATE needs a shard plan to replicate into — set SGCN_SHARDS ({SHARDS_VALUES})");
+    }
+    if shards_spec.as_deref().map(str::trim) == Some("sweep") {
+        shard_sweep(requests, engines, load, hotspot);
+        return;
+    }
+    let shards: Option<usize> = shards_spec.map(|v| {
+        knob("SGCN_SHARDS", &v, SHARDS_VALUES, |v| {
+            v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+        })
+    });
+    let replicate: usize = replicate_spec.map_or(0, |v| {
+        knob("SGCN_REPLICATE", &v, REPLICATE_VALUES, |v| {
+            v.trim().parse::<usize>().ok()
+        })
+    });
     let lineup_spec = std::env::var("SGCN_LINEUP").ok();
     let format_spec = std::env::var("SGCN_FORMATS").ok();
     if format_spec.as_deref().map(str::trim) == Some("sweep") {
@@ -738,6 +927,11 @@ fn main() {
         .with_faults(faults)
         .with_retry(retry)
         .with_format(format);
+    if let Some(sh) = shards {
+        let plan = ShardPlan::from_graph(&ctx.dataset.graph, sh, replicate);
+        label = format!("{label} shards {}", plan.label());
+        qcfg = qcfg.with_sharding(plan);
+    }
     if let Some(lineup) = lineup {
         qcfg = qcfg.with_lineup(lineup);
     }
@@ -844,6 +1038,15 @@ fn main() {
         s.warm_lines,
         s.warm_hit_rate * 100.0
     );
+    if s.shards != "none" {
+        println!(
+            "sharding:        {} — {} cross-shard bytes, {} network cycles, remote rate {:.1}%",
+            s.shards,
+            s.net_bytes,
+            s.net_cycles,
+            s.remote_rate * 100.0
+        );
+    }
     if s.format_policy != "fixed:native" {
         let parts: Vec<String> = s
             .format_dispatch

@@ -213,5 +213,6 @@ pub fn run_suite(cfg: &ExperimentConfig, datasets: &[DatasetId], quick: bool) ->
     writeln!(out, "{}", grids.format).unwrap();
     writeln!(out, "{}", grids.failure).unwrap();
     writeln!(out, "{}", grids.classes).unwrap();
+    writeln!(out, "{}", grids.shard).unwrap();
     out
 }

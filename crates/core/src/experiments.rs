@@ -1208,7 +1208,7 @@ type QueueingSetup = (
     Vec<crate::serving::queueing::PreparedRequest>,
 );
 
-/// The seven queueing grids of the full suite, rendered off one shared
+/// The nine queueing grids of the full suite, rendered off one shared
 /// preparation.
 pub struct QueueingGrids {
     /// Policy × offered-load sweep.
@@ -1231,15 +1231,19 @@ pub struct QueueingGrids {
     /// under a drills-on overload, guarded cells protected by class
     /// deadlines with preemption and the brownout ladder.
     pub classes: Grid,
+    /// Sharded-store sweep: shard count × hub replication under
+    /// shard-oblivious vs shard-affinity routing (cross-shard bytes,
+    /// network cycles, latency).
+    pub shard: Grid,
 }
 
-/// Renders all eight queueing grids (policy × offered-load sweep,
+/// Renders all nine queueing grids (policy × offered-load sweep,
 /// engine-count sweep, traffic-mix × policy SLO sweep, fleet sweep,
 /// hardware-lineup sweep, format-dispatch sweep, failure-drill sweep,
-/// deadline-class capacity sweep) off one shared preparation — what the
-/// full suite calls, since the expensive half (sampling + cold
-/// simulation of the stream) is identical for every sweep cell of every
-/// grid.
+/// deadline-class capacity sweep, sharded-store sweep) off one shared
+/// preparation — what the full suite calls, since the expensive half
+/// (sampling + cold simulation of the stream) is identical for every
+/// sweep cell of every grid.
 #[allow(clippy::too_many_arguments)]
 pub fn queueing_grids(
     cfg: &ExperimentConfig,
@@ -1260,6 +1264,7 @@ pub fn queueing_grids(
         format: queueing_format_sweep_prepared(cfg, id, engines, load, requests, &setup),
         failure: queueing_failure_sweep_prepared(cfg, id, engines, load, requests, &setup),
         classes: queueing_class_sweep_prepared(cfg, id, engines, load, requests, &setup),
+        shard: queueing_shard_sweep_prepared(cfg, id, engines, load, requests, &setup),
     }
 }
 
@@ -1980,6 +1985,90 @@ fn queueing_class_sweep_prepared(
                     .with_classes(ClassPolicy::mix(mix).with_preemption())
                     .with_degrade(DegradePolicy::default()),
             );
+        }
+    }
+    grid
+}
+
+/// Sharded-store serving (the ROADMAP's million-vertex scale-out axis,
+/// scaled to the suite dataset): shard count × hub replication under
+/// shard-oblivious (`least-loaded`) vs shard-locality
+/// (`shard-affinity`) routing. Rows are `<shards>sh <hubs>hub /
+/// <policy>`; columns report cross-shard kilobytes and network
+/// kilocycles, the remote-row rate (%), p99 end-to-end latency and
+/// makespan (kilocycles) — the "does locality routing pay for itself?"
+/// view.
+pub fn queueing_shard_sweep(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+) -> Grid {
+    queueing_shard_sweep_prepared(
+        cfg,
+        id,
+        engines,
+        load,
+        requests,
+        &queueing_setup(cfg, id, requests),
+    )
+}
+
+/// [`queueing_shard_sweep`] off a shared setup (the prepared stream is
+/// shard-plan independent — only routing and the network bill change
+/// per cell).
+fn queueing_shard_sweep_prepared(
+    cfg: &ExperimentConfig,
+    id: DatasetId,
+    engines: usize,
+    load: f64,
+    requests: usize,
+    setup: &QueueingSetup,
+) -> Grid {
+    use crate::serving::queueing::{
+        feature_row_bytes, simulate_queue, QueueConfig, SchedPolicy, ShardPlan, TrafficModel,
+    };
+
+    let cols: Vec<String> = ["netKB", "netkc", "rem%", "p99e(kc)", "mksp(kc)"]
+        .map(String::from)
+        .to_vec();
+    let shard_counts = [2usize, 4];
+    let hub_counts = [0usize, 16];
+    let policies = [SchedPolicy::LeastLoaded, SchedPolicy::ShardAffinity];
+    let mut rows = Vec::new();
+    for &sh in &shard_counts {
+        for &hubs in &hub_counts {
+            for policy in policies {
+                rows.push(format!("{sh}sh {hubs}hub / {}", policy.label()));
+            }
+        }
+    }
+    let mut grid = Grid::new(
+        format!(
+            "Queueing: sharded store × routing on {} (bursty, load {load:.2}, {requests} requests, {engines} engines)",
+            id.abbrev()
+        ),
+        cols,
+        rows,
+    );
+    let hw = cfg.hw();
+    let row_bytes = feature_row_bytes(&setup.0);
+    for &sh in &shard_counts {
+        for &hubs in &hub_counts {
+            let plan = ShardPlan::from_graph(&setup.0.dataset.graph, sh, hubs);
+            for policy in policies {
+                let row = format!("{sh}sh {hubs}hub / {}", policy.label());
+                let qcfg = QueueConfig::new(engines, policy, load, cfg.seed)
+                    .with_traffic(TrafficModel::bursty_default())
+                    .with_sharding(plan.clone());
+                let s = simulate_queue(&setup.1, &qcfg, &hw, row_bytes).summary;
+                grid.set(&row, "netKB", s.net_bytes as f64 / 1e3);
+                grid.set(&row, "netkc", s.net_cycles as f64 / 1e3);
+                grid.set(&row, "rem%", s.remote_rate * 100.0);
+                grid.set(&row, "p99e(kc)", s.p99_e2e_cycles as f64 / 1e3);
+                grid.set(&row, "mksp(kc)", s.makespan_cycles as f64 / 1e3);
+            }
         }
     }
     grid

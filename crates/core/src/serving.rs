@@ -18,13 +18,15 @@
 //!
 //! Every stage is a pure function of `(dataset, fanouts, seed, request)`:
 //! the sampler derives its RNG from the seed vertex, the trace synthesis
-//! from the serving seed and seed vertex, and [`serve_batch`] fans out
+//! from the serving seed and seed vertex, and
+//! [`ServingContext::serve_batch`] fans out
 //! over [`sgcn_par::par_map`], which returns results in input order — so
 //! a replayed stream is **bit-identical at any thread count**, matching
 //! the experiment drivers' contract.
 
 pub mod faults;
 pub mod queueing;
+pub mod sharding;
 pub mod slo;
 pub mod trace;
 pub mod traffic;
@@ -247,7 +249,7 @@ impl ServingContext {
 
     /// [`Self::build_workload_from`] plus boundary pre-encoding for a
     /// serving-format palette: every non-native palette format is
-    /// encoded once into the workload's Arc'd [`FormatCache`], so the
+    /// encoded once into the workload's Arc'd `FormatCache`, so the
     /// per-(class, format) cold simulations that follow (one per lineup
     /// class × palette entry) share the encodings instead of rebuilding
     /// them. A `[Native]` (or empty) palette degenerates to exactly

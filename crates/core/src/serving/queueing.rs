@@ -126,7 +126,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use sgcn_formats::{FormatKind, LineRun};
+use sgcn_formats::{Bitmap, FormatKind, LineRun};
 use sgcn_graph::sampling::Fanouts;
 use sgcn_mem::{CacheConfig, MemorySystem, SpanCounts, Traffic};
 use sgcn_par::par_map;
@@ -134,8 +134,9 @@ use sgcn_par::par_map;
 pub use crate::serving::faults::{
     DegradeMode, DegradePolicy, FailureModel, FaultPlan, Incident, RetryPolicy, ScalePolicy,
 };
+pub use crate::serving::sharding::{NetCost, NetworkModel, ShardPlan};
 pub use crate::serving::slo::{ClassPolicy, ClassSlo, RequestClass, SloConfig, SloStats};
-pub use crate::serving::trace::{ArrivalTrace, TraceArrivals};
+pub use crate::serving::trace::{ArrivalTrace, TraceArrivals, TIMESTAMP_LOG_FORMAT};
 pub use crate::serving::traffic::{
     ArrivalModel, ArrivalProcess, BurstyArrivals, DiurnalArrivals, ThinkTimes, TrafficModel,
 };
@@ -178,16 +179,26 @@ pub enum SchedPolicy {
     /// ties. On a legacy scalar fleet the prediction is the exact cold
     /// scaled estimate.
     CostAware,
+    /// Shard-locality routing for a sharded feature store
+    /// ([`ShardPlan`]): bounded-load like [`SchedPolicy::CacheAffinity`],
+    /// but among eligible engines it maximizes the count of the
+    /// request's sampled rows **resident on the engine's shard** — one
+    /// word-level bitmap intersection per engine instead of a
+    /// per-vertex cache peek, so the query stays O(vertices / 64) at
+    /// million-vertex scale. Without a configured shard plan the
+    /// decision falls back to least-loaded (shard-oblivious) routing.
+    ShardAffinity,
 }
 
 impl SchedPolicy {
     /// All policies in report order.
-    pub const ALL: [SchedPolicy; 5] = [
+    pub const ALL: [SchedPolicy; 6] = [
         SchedPolicy::FifoRoundRobin,
         SchedPolicy::LeastLoaded,
         SchedPolicy::CacheAffinity,
         SchedPolicy::SloAware,
         SchedPolicy::CostAware,
+        SchedPolicy::ShardAffinity,
     ];
 
     /// Display label (stable — appears in golden snapshots).
@@ -198,6 +209,7 @@ impl SchedPolicy {
             SchedPolicy::CacheAffinity => "cache-affinity",
             SchedPolicy::SloAware => "slo-aware",
             SchedPolicy::CostAware => "cost-aware",
+            SchedPolicy::ShardAffinity => "shard-affinity",
         }
     }
 
@@ -209,6 +221,7 @@ impl SchedPolicy {
             "affinity" | "cache-affinity" | "warm" => Some(SchedPolicy::CacheAffinity),
             "slo" | "slo-aware" | "edf" | "deadline" => Some(SchedPolicy::SloAware),
             "cost" | "cost-aware" | "cm" => Some(SchedPolicy::CostAware),
+            "shard" | "shard-affinity" | "locality" => Some(SchedPolicy::ShardAffinity),
             _ => None,
         }
     }
@@ -911,6 +924,12 @@ pub struct QueueConfig {
     /// rung at a time. Needs a stream prepared by [`prepare_degraded`]
     /// and the adaptive format policy.
     pub degrade: Option<DegradePolicy>,
+    /// Sharded feature store: when set, each engine serves from one
+    /// shard ([`ShardPlan::engine_shard`]) and every sampled row not
+    /// resident there pays the modeled cross-shard network cost
+    /// (latency + bytes), accounted per request and summarized. Arms
+    /// the [`SchedPolicy::ShardAffinity`] locality routing.
+    pub sharding: Option<ShardPlan>,
 }
 
 impl QueueConfig {
@@ -944,6 +963,7 @@ impl QueueConfig {
             format: FormatPolicy::default(),
             classes: None,
             degrade: None,
+            sharding: None,
         }
     }
 
@@ -1073,6 +1093,13 @@ impl QueueConfig {
     /// Sets the per-request serving-format policy.
     pub fn with_format(mut self, format: FormatPolicy) -> Self {
         self.format = format;
+        self
+    }
+
+    /// Shards the feature store: engines serve from striped shards and
+    /// cross-shard rows pay the plan's modeled network cost.
+    pub fn with_sharding(mut self, plan: ShardPlan) -> Self {
+        self.sharding = Some(plan);
         self
     }
 
@@ -1345,6 +1372,12 @@ pub struct RequestTiming {
     /// degraded-completion count. Always `false` without a
     /// [`DegradePolicy`].
     pub degraded: bool,
+    /// Cross-shard network bill of this request (all-zero without a
+    /// [`ShardPlan`]).
+    pub net: NetCost,
+    /// Sampled feature rows the service streamed (the `remote_rate`
+    /// denominator; counts the lite sample under lite service).
+    pub sampled_vertices: u64,
 }
 
 impl RequestTiming {
@@ -1390,6 +1423,10 @@ pub struct FailedRecord {
 struct ExactService {
     service: u64,
     warm: SpanCounts,
+    /// Cross-shard network bill (all-zero without a shard plan).
+    net: NetCost,
+    /// Feature rows streamed (lite sample under lite service).
+    sampled: u64,
 }
 
 /// A request assigned to an engine but not yet started (lazy loop only).
@@ -1571,6 +1608,10 @@ struct ClassPricing {
     effective_bw: f64,
     line_bytes: u64,
     row_stride: u64,
+    /// Unpadded feature-row bytes — what a cross-shard fetch actually
+    /// moves over the interconnect (the stride padding is a cache-layout
+    /// artifact, not wire traffic).
+    feature_row_bytes: u64,
 }
 
 impl ClassPricing {
@@ -1583,6 +1624,7 @@ impl ClassPricing {
             effective_bw: dram.peak_bytes_per_cycle * dram.efficiency,
             line_bytes,
             row_stride: feature_row_bytes.div_ceil(line_bytes) * line_bytes,
+            feature_row_bytes,
         }
     }
 }
@@ -1697,6 +1739,11 @@ struct QueueSim<'a> {
     /// cycles across the stream's prepared cells) — the ladder's first
     /// rung. 0 when brownout is off.
     cheapest_fmt: usize,
+    /// Per-request sampled-vertex bitmaps over the shard plan's vertex
+    /// space (parallel to `prepared`; empty without sharding) — the
+    /// word-level operand shard-affinity routing intersects against
+    /// shard residency.
+    req_bits: Vec<Bitmap>,
 }
 
 impl QueueSim<'_> {
@@ -1710,7 +1757,7 @@ impl QueueSim<'_> {
     /// are always empty, so `projected_free` collapses to `next_free`
     /// there. Crashed and parked engines are never picked; callers check
     /// [`Self::any_available`] first (trivially true without drills).
-    fn pick_engine(&self, p: &PreparedRequest, arrival: u64) -> usize {
+    fn pick_engine(&self, id: usize, p: &PreparedRequest, arrival: u64) -> usize {
         match self.cfg.policy {
             // Dispatch by the request's stream index (not loop
             // position), so the documented `i mod N` contract holds even
@@ -1788,6 +1835,50 @@ impl QueueSim<'_> {
                     if best == usize::MAX || key > best_key {
                         best_key = key;
                         best = id;
+                    }
+                }
+                best
+            }
+            SchedPolicy::ShardAffinity => {
+                // Shard-locality routing: the same bounded-load window
+                // as cache affinity, but the residency poll is one
+                // word-level bitmap intersection per engine (request
+                // bits ∧ shard residency) instead of per-vertex cache
+                // peeks. Engines striped onto the same shard tie on
+                // locality and fall back to earliest-free then lowest
+                // id. Without a shard plan the policy is documented to
+                // degrade to least-loaded (shard-oblivious) routing.
+                let Some(plan) = &self.cfg.sharding else {
+                    return self
+                        .engines
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.available())
+                        .min_by_key(|(eid, e)| (e.projected_free(), *eid))
+                        .map(|(eid, _)| eid)
+                        .expect("an engine is available");
+                };
+                let backlog = |e: &Engine| e.projected_free().saturating_sub(arrival);
+                let min_backlog = self
+                    .engines
+                    .iter()
+                    .filter(|e| e.available())
+                    .map(backlog)
+                    .min()
+                    .expect("an engine is available");
+                let limit = min_backlog.saturating_add(self.affinity_slack);
+                let bits = &self.req_bits[id];
+                let mut best = usize::MAX;
+                let mut best_key = (0u64, 0u64); // (local rows, -projected_free) maximized
+                for (eid, eng) in self.engines.iter().enumerate() {
+                    if !eng.available() || backlog(eng) > limit {
+                        continue;
+                    }
+                    let local = plan.resident_count(plan.engine_shard(eid), bits);
+                    let key = (local, u64::MAX - eng.projected_free());
+                    if best == usize::MAX || key > best_key {
+                        best_key = key;
+                        best = eid;
                     }
                 }
                 best
@@ -1998,8 +2089,26 @@ impl QueueSim<'_> {
         } else {
             0
         };
-        let service = scale_service(report.cycles.saturating_sub(saved_cycles), scale).max(1);
-        ExactService { service, warm }
+        let mut service = scale_service(report.cycles.saturating_sub(saved_cycles), scale).max(1);
+        // Sharded store: rows not resident on the engine's shard are
+        // fetched over the interconnect before service can stream them
+        // — pure in `(engine shard, request)`, so the eager and lazy
+        // loops price identical bills.
+        let net = match &self.cfg.sharding {
+            Some(plan) => {
+                let cost =
+                    plan.remote_cost(plan.engine_shard(e), vertices, pricing.feature_row_bytes);
+                service += cost.cycles;
+                cost
+            }
+            None => NetCost::default(),
+        };
+        ExactService {
+            service,
+            warm,
+            net,
+            sampled: vertices.len() as u64,
+        }
     }
 
     /// Runs one request on engine `e` starting at `start`: warm-cache
@@ -2013,7 +2122,12 @@ impl QueueSim<'_> {
         start: u64,
         exact: Option<ExactService>,
     ) -> u64 {
-        let ExactService { service, warm } = match exact {
+        let ExactService {
+            service,
+            warm,
+            net,
+            sampled,
+        } = match exact {
             Some(done) => done,
             None => self.account_warm(e, id),
         };
@@ -2038,6 +2152,8 @@ impl QueueSim<'_> {
             // the fleet recovered between assignment and service start.
             degraded: self.degrade_armed
                 && (self.degrade_mode != DegradeMode::Full || self.is_lite(self.chosen_fmt[id])),
+            net,
+            sampled_vertices: sampled,
         });
         if self.event_driven {
             let epoch = self.engines[e].epoch;
@@ -2122,7 +2238,7 @@ impl QueueSim<'_> {
     fn run_eager(&mut self) {
         while let Some((id, arrival)) = self.next_arrival() {
             let p = &self.prepared[id];
-            let e = self.pick_engine(p, arrival);
+            let e = self.pick_engine(id, p, arrival);
             self.assign_format(e, id);
             let est = self.cold_est(e, id);
             if self.shed_decision(arrival, e, est, id) {
@@ -2278,7 +2394,7 @@ impl QueueSim<'_> {
             return;
         }
         let p = &self.prepared[id];
-        let e = self.pick_engine(p, t);
+        let e = self.pick_engine(id, p, t);
         self.assign_format(e, id);
         let est = self.cold_est(e, id);
         if self.shed_decision(t, e, est, id) {
@@ -2570,7 +2686,7 @@ impl QueueSim<'_> {
         }
         let first_dispatch = self.attempts[id] == 0;
         let p = &self.prepared[id];
-        let e = self.pick_engine(p, t);
+        let e = self.pick_engine(id, p, t);
         self.assign_format(e, id);
         let est = self.cold_est(e, id);
         if first_dispatch && self.shed_decision(t, e, est, id) {
@@ -3176,6 +3292,26 @@ pub fn simulate_queue_forced(
         .degrade
         .as_ref()
         .map_or(0, |p| (p.cooldown_services * mean_service).round() as u64);
+    // Sharded store: per-request sampled-vertex bitmaps over the plan's
+    // vertex space, built once in stream order (serial — deterministic
+    // at any thread count). Every sampled id must fall inside the
+    // plan's store.
+    let req_bits: Vec<Bitmap> = match &cfg.sharding {
+        Some(plan) => prepared
+            .iter()
+            .map(|p| {
+                for &v in &p.vertices {
+                    assert!(
+                        (v as usize) < plan.vertices(),
+                        "sampled vertex {v} outside the shard plan's {}-vertex store",
+                        plan.vertices()
+                    );
+                }
+                plan.request_residency(&p.vertices)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
     let mut sim = QueueSim {
         prepared,
         cfg,
@@ -3222,6 +3358,7 @@ pub fn simulate_queue_forced(
         degrade_cooldown_cycles,
         degrade_cooldown_until: 0,
         cheapest_fmt,
+        req_bits,
     };
     if lazy {
         sim.run_lazy();
@@ -3461,6 +3598,16 @@ pub struct QueueSummary {
     /// 99th-percentile end-to-end latency per class, completed requests
     /// only (0 for an empty class).
     pub class_p99_e2e: [u64; RequestClass::COUNT],
+    /// Shard-plan label (`none` without a sharded store).
+    pub shards: String,
+    /// Cross-shard feature bytes moved over the interconnect
+    /// (completed requests).
+    pub net_bytes: u64,
+    /// Cycles spent on cross-shard fetches (round trips + transfer).
+    pub net_cycles: u64,
+    /// Fraction of sampled rows fetched from a remote shard, over
+    /// completed requests (0 without sharding or an empty stream).
+    pub remote_rate: f64,
 }
 
 /// Drill counters threaded from the event loop into the summary.
@@ -3548,12 +3695,20 @@ impl QueueSummary {
         }
         let mut err_sum = 0.0;
         let mut degraded = 0u64;
+        let mut net_bytes = 0u64;
+        let mut net_cycles = 0u64;
+        let mut remote_rows = 0u64;
+        let mut sampled_rows = 0u64;
         for r in records {
             let slot = r.format.min(dispatch.len() - 1);
             dispatch[slot].1 += 1;
             let actual = r.service_cycles.max(1) as f64;
             err_sum += (r.predicted_cycles as f64 - actual).abs() / actual;
             degraded += u64::from(r.degraded);
+            net_bytes += r.net.bytes;
+            net_cycles += r.net.cycles;
+            remote_rows += r.net.remote_vertices;
+            sampled_rows += r.sampled_vertices;
         }
         // Per-class partitions re-derive each request's class from the
         // seeded hash, so shed and failed records need no extra field.
@@ -3658,6 +3813,13 @@ impl QueueSummary {
             class_failed,
             class_violations,
             class_p99_e2e,
+            shards: cfg
+                .sharding
+                .as_ref()
+                .map_or_else(|| "none".to_string(), ShardPlan::label),
+            net_bytes,
+            net_cycles,
+            remote_rate: div(remote_rows as f64, sampled_rows as f64),
         }
     }
 
@@ -3667,7 +3829,7 @@ impl QueueSummary {
     pub fn to_json(&self, label: &str) -> String {
         let label = label.replace('\\', "\\\\").replace('"', "\\\"");
         format!(
-            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {},\n  \"cost_units\": {:.3},\n  \"format_policy\": \"{}\",\n  \"format_dispatch\": {{{}}},\n  \"format_pred_err\": {:.6},\n  \"classes\": \"{}\",\n  \"degrade\": \"{}\",\n  \"preemptions\": {},\n  \"degraded\": {},\n  \"mode_cycles\": {{\"full\": {}, \"cheap_fixed\": {}, \"lite\": {}}},\n  \"class_completed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_shed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_failed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_violations\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_p99_e2e\": {{\"interactive\": {}, \"batch\": {}}}\n}}\n",
+            "{{\n  \"bench\": \"queue_sim\",\n  \"workload\": \"{label}\",\n  \"requests\": {},\n  \"engines\": {},\n  \"policy\": \"{}\",\n  \"offered_load\": {:.3},\n  \"traffic\": \"{}\",\n  \"fleet\": \"{}\",\n  \"deadline_cycles\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \"violations\": {},\n  \"violation_rate\": {:.6},\n  \"makespan_cycles\": {},\n  \"p50_wait_cycles\": {},\n  \"p95_wait_cycles\": {},\n  \"p99_wait_cycles\": {},\n  \"max_wait_cycles\": {},\n  \"mean_wait_cycles\": {:.3},\n  \"p50_e2e_cycles\": {},\n  \"p95_e2e_cycles\": {},\n  \"p99_e2e_cycles\": {},\n  \"max_e2e_cycles\": {},\n  \"mean_e2e_cycles\": {:.3},\n  \"throughput_rps\": {:.3},\n  \"utilization\": {:.6},\n  \"warm_lines\": {},\n  \"warm_hits\": {},\n  \"warm_hit_rate\": {:.6},\n  \"faults\": \"{}\",\n  \"retry\": \"{}\",\n  \"autoscale\": \"{}\",\n  \"incidents\": {},\n  \"retries\": {},\n  \"failed\": {},\n  \"failed_rate\": {:.6},\n  \"availability\": {:.6},\n  \"peak_engines\": {},\n  \"cost_units\": {:.3},\n  \"format_policy\": \"{}\",\n  \"format_dispatch\": {{{}}},\n  \"format_pred_err\": {:.6},\n  \"classes\": \"{}\",\n  \"degrade\": \"{}\",\n  \"preemptions\": {},\n  \"degraded\": {},\n  \"mode_cycles\": {{\"full\": {}, \"cheap_fixed\": {}, \"lite\": {}}},\n  \"class_completed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_shed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_failed\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_violations\": {{\"interactive\": {}, \"batch\": {}}},\n  \"class_p99_e2e\": {{\"interactive\": {}, \"batch\": {}}},\n  \"shards\": \"{}\",\n  \"net_bytes\": {},\n  \"net_cycles\": {},\n  \"remote_rate\": {:.6}\n}}\n",
             self.requests,
             self.engines,
             self.policy,
@@ -3730,6 +3892,10 @@ impl QueueSummary {
             self.class_violations[1],
             self.class_p99_e2e[0],
             self.class_p99_e2e[1],
+            self.shards,
+            self.net_bytes,
+            self.net_cycles,
+            self.remote_rate,
         )
     }
 }
@@ -5044,5 +5210,126 @@ mod tests {
             !json.contains("inf") && !json.contains("NaN") && !json.contains("nan"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn sharded_run_accounts_network_identically_in_both_loops() {
+        // The network bill is pure in (engine shard, request), so the
+        // eager and lazy loops must price identical bytes and cycles —
+        // across every policy that runs both loops.
+        let (ctx, prepared, row) = prepared_tiny(24, 5);
+        let hw = HwConfig::default();
+        let plan = ShardPlan::from_graph(&ctx.dataset.graph, 3, 8);
+        for policy in [
+            SchedPolicy::FifoRoundRobin,
+            SchedPolicy::LeastLoaded,
+            SchedPolicy::CacheAffinity,
+            SchedPolicy::CostAware,
+            SchedPolicy::ShardAffinity,
+        ] {
+            let cfg = qcfg(3, policy).with_sharding(plan.clone());
+            let eager = simulate_queue_forced(&prepared, &cfg, &hw, row, false);
+            let lazy = simulate_queue_forced(&prepared, &cfg, &hw, row, true);
+            assert_eq!(eager, lazy, "{policy:?}");
+            let s = &eager.summary;
+            assert_eq!(s.shards, "3x8hub");
+            assert_eq!(s.completed, 24);
+            assert!(s.net_bytes > 0, "{policy:?}: a 3-shard split pays network");
+            assert!(s.net_cycles > 0, "{policy:?}");
+            assert!(
+                s.remote_rate > 0.0 && s.remote_rate < 1.0,
+                "{policy:?}: remote rate {} out of band",
+                s.remote_rate
+            );
+            let json = s.to_json("shard");
+            assert!(
+                !json.contains("inf") && !json.contains("NaN") && !json.contains("nan"),
+                "{json}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_affinity_cuts_cross_shard_bytes_at_equal_completions() {
+        // The tentpole's locality-wins property: routing by shard
+        // residency completes the same stream with no more cross-shard
+        // bytes than shard-oblivious least-loaded routing.
+        let (ctx, prepared, row) = prepared_tiny(30, 5);
+        let hw = HwConfig::default();
+        let plan = ShardPlan::from_graph(&ctx.dataset.graph, 3, 8);
+        let oblivious = simulate_queue(
+            &prepared,
+            &qcfg(3, SchedPolicy::LeastLoaded).with_sharding(plan.clone()),
+            &hw,
+            row,
+        );
+        let affine = simulate_queue(
+            &prepared,
+            &qcfg(3, SchedPolicy::ShardAffinity).with_sharding(plan),
+            &hw,
+            row,
+        );
+        assert_eq!(affine.summary.completed, oblivious.summary.completed);
+        assert!(
+            affine.summary.net_bytes <= oblivious.summary.net_bytes,
+            "shard-affinity {} > least-loaded {}",
+            affine.summary.net_bytes,
+            oblivious.summary.net_bytes
+        );
+    }
+
+    #[test]
+    fn shard_affinity_without_a_plan_is_least_loaded() {
+        // The documented shard-oblivious fallback: identical engine
+        // choices and timings, only the policy label differs.
+        let (_ctx, prepared, row) = prepared_tiny(20, 4);
+        let hw = HwConfig::default();
+        let shard = simulate_queue(&prepared, &qcfg(3, SchedPolicy::ShardAffinity), &hw, row);
+        let least = simulate_queue(&prepared, &qcfg(3, SchedPolicy::LeastLoaded), &hw, row);
+        assert_eq!(shard.records, least.records);
+        assert_eq!(shard.summary.makespan_cycles, least.summary.makespan_cycles);
+        assert_eq!(shard.summary.policy, "shard-affinity");
+    }
+
+    #[test]
+    fn unsharded_runs_report_zero_network() {
+        let (_ctx, prepared, row) = prepared_tiny(12, 3);
+        let s = simulate_queue(
+            &prepared,
+            &qcfg(2, SchedPolicy::LeastLoaded),
+            &HwConfig::default(),
+            row,
+        )
+        .summary;
+        assert_eq!(s.shards, "none");
+        assert_eq!(s.net_bytes, 0);
+        assert_eq!(s.net_cycles, 0);
+        assert_eq!(s.remote_rate, 0.0);
+    }
+
+    #[test]
+    fn hub_replication_monotonically_cuts_network_bytes() {
+        // More replicated hubs ⇒ more locally-resident rows ⇒ the same
+        // stream pays no more cross-shard bytes.
+        let (ctx, prepared, row) = prepared_tiny(24, 5);
+        let hw = HwConfig::default();
+        let mut last = u64::MAX;
+        for hubs in [0usize, 8, 64] {
+            let plan = ShardPlan::from_graph(&ctx.dataset.graph, 3, hubs);
+            let s = simulate_queue(
+                &prepared,
+                &qcfg(3, SchedPolicy::ShardAffinity).with_sharding(plan),
+                &hw,
+                row,
+            )
+            .summary;
+            assert!(
+                s.net_bytes <= last,
+                "{hubs} hubs: {} bytes > previous {}",
+                s.net_bytes,
+                last
+            );
+            last = s.net_bytes;
+        }
     }
 }

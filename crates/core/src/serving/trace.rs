@@ -201,14 +201,28 @@ impl ArrivalTrace {
     /// convention as the dispatch knobs): one finite, non-decreasing
     /// timestamp per line, blank lines and `#` comments ignored.
     pub fn from_timestamp_file(path: &str, target_mean_gap_cycles: f64) -> ArrivalTrace {
-        const EXPECTED: &str = "expected a plain timestamp log: one finite, non-decreasing \
-             timestamp per line (any unit), blank lines and '#' comments ignored";
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read timestamp log {path:?}: {e} — {EXPECTED}"));
-        ArrivalTrace::from_timestamp_log(&text, target_mean_gap_cycles)
-            .unwrap_or_else(|e| panic!("malformed timestamp log {path:?}: {e} — {EXPECTED}"))
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read timestamp log {path:?}: {e} — expected a plain timestamp log: \
+                 {TIMESTAMP_LOG_FORMAT}"
+            )
+        });
+        ArrivalTrace::from_timestamp_log(&text, target_mean_gap_cycles).unwrap_or_else(|e| {
+            panic!(
+                "malformed timestamp log {path:?}: {e} — expected a plain timestamp log: \
+                 {TIMESTAMP_LOG_FORMAT}"
+            )
+        })
     }
 }
+
+/// The one-line contract of a `SGCN_LOG_INGEST` timestamp log, quoted
+/// verbatim by both [`ArrivalTrace::from_timestamp_file`]'s hard errors
+/// and the knob reference (`docs/KNOBS.md`) — a single constant so the
+/// error message and the documentation cannot drift apart (a unit test
+/// pins the exact wording).
+pub const TIMESTAMP_LOG_FORMAT: &str = "one finite, non-decreasing timestamp per line \
+     (any unit), blank lines and '#' comments ignored";
 
 /// Extracts the string value of `"key": "value"`, unescaping the two
 /// escapes [`ArrivalTrace::to_json`] emits.
@@ -403,6 +417,18 @@ mod tests {
     #[should_panic(expected = "expected a plain timestamp log")]
     fn missing_timestamp_file_is_a_hard_error() {
         let _ = ArrivalTrace::from_timestamp_file("/nonexistent/arrivals.log", 1000.0);
+    }
+
+    #[test]
+    fn timestamp_log_format_wording_is_pinned() {
+        // The knob reference (docs/KNOBS.md) quotes this sentence
+        // verbatim for SGCN_LOG_INGEST; changing the wording here means
+        // updating the reference in the same commit.
+        assert_eq!(
+            TIMESTAMP_LOG_FORMAT,
+            "one finite, non-decreasing timestamp per line (any unit), \
+             blank lines and '#' comments ignored"
+        );
     }
 
     #[test]

@@ -181,7 +181,7 @@ impl Workload {
     }
 
     /// Pre-encodes every boundary matrix (`1..=layers`) in each of the
-    /// given study formats into the shared [`FormatCache`], so the
+    /// given study formats into the shared `FormatCache`, so the
     /// per-(class, format) cold simulations of one serving request
     /// encode each boundary once instead of once per hardware class.
     /// Dense is skipped (the simulator borrows the trace matrix

@@ -138,6 +138,34 @@ impl Bitmap {
         }
     }
 
+    /// The packed 64-bit words backing the bitmap, least-significant bit
+    /// first. Bits at positions `>= len` are always zero, so word-level
+    /// consumers (population counts, intersections) need no masking.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of positions set in **both** bitmaps — a word-at-a-time
+    /// `popcount(self & other)`. This is the O(words) primitive behind
+    /// shard-residency and cache-affinity queries: intersecting a
+    /// request's vertex set with a shard's residency index costs
+    /// `len/64` AND+popcount steps instead of a per-vertex probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps cover different lengths.
+    pub fn and_count(&self, other: &Bitmap) -> u64 {
+        assert_eq!(
+            self.len, other.len,
+            "and_count requires equal-length bitmaps"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| u64::from((a & b).count_ones()))
+            .sum()
+    }
+
     /// The exclusive prefix-sum over bits, as produced by the hardware
     /// prefix-sum unit: `out[i]` = number of ones before position `i`.
     /// Walks the packed words directly instead of probing bit by bit.
@@ -288,5 +316,36 @@ mod tests {
     fn get_out_of_range_panics() {
         let bm = Bitmap::new(4);
         let _ = bm.get(4);
+    }
+
+    #[test]
+    fn words_expose_packed_bits() {
+        let mut bm = Bitmap::new(130);
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        assert_eq!(bm.words(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn and_count_matches_per_bit_intersection() {
+        let mut a = Bitmap::new(200);
+        let mut b = Bitmap::new(200);
+        for i in (0..200).step_by(3) {
+            a.set(i, true);
+        }
+        for i in (0..200).step_by(5) {
+            b.set(i, true);
+        }
+        let expect = (0..200).filter(|i| i % 3 == 0 && i % 5 == 0).count() as u64;
+        assert_eq!(a.and_count(&b), expect);
+        assert_eq!(b.and_count(&a), expect);
+        assert_eq!(a.and_count(&a), a.count_ones() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn and_count_length_mismatch_panics() {
+        let _ = Bitmap::new(4).and_count(&Bitmap::new(5));
     }
 }

@@ -105,7 +105,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: an exact count or a half-open range.
+    /// Size specification for [`vec()`]: an exact count or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

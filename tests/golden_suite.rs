@@ -435,6 +435,63 @@ fn check_queue_class_summary_golden() {
     assert_matches_golden("queue_class_quick.json", &json);
 }
 
+/// The sharded-store queueing summary (a shard plan with replicated
+/// hubs over the context graph, routed `shard-affinity` under bursty
+/// traffic) must match its snapshot — pinning the contiguous-range
+/// partition, hub selection, per-request residency bitmaps, the
+/// locality-maximizing routing decision and the cross-shard network
+/// bill in one trace. The same cell must also beat (or match)
+/// shard-oblivious least-loaded routing on cross-shard bytes at equal
+/// completed requests: the acceptance gate of the sharding work.
+/// Called from the single env-touching test below for the same reason
+/// as [`check_serve_summary_golden`].
+fn check_queue_shard_summary_golden() {
+    use sgcn::accel::AccelModel;
+    use sgcn::serving::queueing::{
+        feature_row_bytes, prepare, simulate_queue, QueueConfig, SchedPolicy, ShardPlan,
+        TrafficModel,
+    };
+    use sgcn::serving::{ServingConfig, ServingContext};
+
+    let cfg = ExperimentConfig::quick();
+    let ctx = ServingContext::new(ServingConfig {
+        dataset: DatasetId::PubMed,
+        scale: cfg.scale,
+        fanouts: sgcn_graph::sampling::Fanouts::new(vec![10, 5]),
+        width: cfg.width,
+        seed: cfg.seed,
+    });
+    let stream = ctx.hotspot_stream(60, 10);
+    let prepared = prepare(&ctx, &stream, &AccelModel::sgcn(), &cfg.hw());
+    let plan = ShardPlan::from_graph(&ctx.dataset.graph, 4, 64);
+    let run = |policy| {
+        let qcfg = QueueConfig::new(4, policy, 0.8, cfg.seed)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_sharding(plan.clone());
+        simulate_queue(&prepared, &qcfg, &cfg.hw(), feature_row_bytes(&ctx))
+    };
+    let least = run(SchedPolicy::LeastLoaded);
+    let affine = run(SchedPolicy::ShardAffinity);
+    assert_eq!(
+        affine.summary.completed, least.summary.completed,
+        "shard-affinity must complete exactly as many requests as least-loaded"
+    );
+    assert!(
+        affine.summary.net_bytes <= least.summary.net_bytes,
+        "shard-affinity cross-shard bytes {} must not lose to least-loaded's {}",
+        affine.summary.net_bytes,
+        least.summary.net_bytes
+    );
+    assert!(
+        affine.summary.net_bytes > 0,
+        "the pinned shard cell must pay some network bill"
+    );
+    let json = affine
+        .summary
+        .to_json("PM fanout 10x5 SGCN x4 shard-affinity bursty shards 4x64hub");
+    assert_matches_golden("queue_shard_quick.json", &json);
+}
+
 /// The full rendered quick suite must match the snapshot on both the
 /// default (fast) path and the `SGCN_NAIVE=1` seed-replay path, and the
 /// serving and queueing summaries must match their snapshots. Everything
@@ -456,6 +513,7 @@ fn quick_suite_and_serving_match_goldens_on_fast_and_naive_paths() {
     check_queue_lineup_summary_golden();
     check_queue_format_summary_golden();
     check_queue_class_summary_golden();
+    check_queue_shard_summary_golden();
 
     std::env::set_var("SGCN_NAIVE", "1");
     let naive = sgcn_bench::run_suite(&cfg, &datasets, true);

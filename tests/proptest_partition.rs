@@ -1,0 +1,142 @@
+//! Property-based tests on vertex partitioning: `sgcn_graph`'s tilings
+//! and `sgcn`'s sharded feature-store plans both carve the vertex space
+//! into ranges, and both carry the same contract — every vertex lands
+//! in exactly one home range, the requested partition count is
+//! respected, and the construction is a pure function of its inputs
+//! (no RNG, no parallel stage), so plans are identical at any
+//! `SGCN_THREADS`.
+
+use proptest::prelude::*;
+use sgcn::serving::sharding::ShardPlan;
+use sgcn_graph::partition::Tiling;
+
+/// Strategy: a vertex count and a pair of tile sizes that may or may
+/// not divide it (the last tile of each axis is allowed to be ragged).
+fn tiling_strategy() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..300, 1usize..64, 1usize..64)
+}
+
+/// Strategy: a degree table plus a shard count and hub budget. Degrees
+/// are skewed toward small values with a few heavy entries, so hub
+/// selection has real ties and real outliers to resolve; the shard
+/// count may exceed the vertex count (trailing shards go empty).
+fn plan_strategy() -> impl Strategy<Value = (Vec<usize>, usize, usize)> {
+    (
+        proptest::collection::vec(0usize..50, 1..400),
+        1usize..9,
+        0usize..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn tiling_ranges_partition_every_vertex_exactly_once(
+        t in tiling_strategy(),
+    ) {
+        let (n, dt, st) = t;
+        let tiling = Tiling::new(n, dt, st);
+        let mut seen = vec![0usize; n];
+        for i in 0..tiling.dst_tiles() {
+            for v in tiling.dst_range(i).iter() {
+                seen[v] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "dst cover counts {:?}", seen);
+        let mut seen = vec![0usize; n];
+        for j in 0..tiling.src_tiles() {
+            for v in tiling.src_range(j).iter() {
+                seen[v] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "src cover counts {:?}", seen);
+    }
+
+    #[test]
+    fn tiling_respects_tile_counts_and_row_major_order(
+        t in tiling_strategy(),
+    ) {
+        let (n, dt, st) = t;
+        let tiling = Tiling::new(n, dt, st);
+        prop_assert_eq!(tiling.dst_tiles(), n.div_ceil(dt));
+        prop_assert_eq!(tiling.src_tiles(), n.div_ceil(st));
+        let tiles: Vec<_> = tiling.iter_row_major().collect();
+        prop_assert_eq!(tiles.len(), tiling.dst_tiles() * tiling.src_tiles());
+        for (k, tile) in tiles.iter().enumerate() {
+            prop_assert_eq!(tile.dst, tiling.dst_range(k / tiling.src_tiles()));
+            prop_assert_eq!(tile.src, tiling.src_range(k % tiling.src_tiles()));
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_every_vertex_exactly_once(
+        p in plan_strategy(),
+    ) {
+        let (degrees, shards, hubs) = p;
+        let plan = ShardPlan::from_degrees(&degrees, shards, hubs, Default::default());
+        let n = degrees.len();
+        prop_assert_eq!(plan.vertices(), n);
+        prop_assert_eq!(plan.shards(), shards, "shard count not respected");
+        let mut seen = vec![0usize; n];
+        for s in 0..plan.shards() {
+            for v in plan.range(s).iter() {
+                prop_assert_eq!(plan.shard_of(v), s, "shard_of disagrees with range");
+                seen[v] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "home cover counts {:?}", seen);
+    }
+
+    #[test]
+    fn residency_is_home_plus_replicated_hubs(
+        p in plan_strategy(),
+    ) {
+        let (degrees, shards, hubs) = p;
+        let plan = ShardPlan::from_degrees(&degrees, shards, hubs, Default::default());
+        prop_assert_eq!(plan.hubs().len(), hubs.min(degrees.len()));
+        for v in 0..degrees.len() {
+            let copies = (0..plan.shards())
+                .filter(|&s| plan.is_resident(s, v))
+                .count();
+            if plan.hubs().contains(&(v as u32)) {
+                prop_assert_eq!(copies, plan.shards(), "hub {} not on every shard", v);
+            } else {
+                prop_assert_eq!(copies, 1, "vertex {} stored {} times", v, copies);
+                prop_assert!(plan.is_resident(plan.shard_of(v), v), "vertex {} missing at home", v);
+            }
+        }
+        // Stored rows close: every vertex once, plus each hub's extra
+        // copy on every shard that is not already its home.
+        let stored: u64 = (0..plan.shards()).map(|s| plan.stored_rows(s)).sum();
+        let expected = degrees.len() as u64
+            + plan.hubs().len() as u64 * (plan.shards() as u64 - 1);
+        prop_assert_eq!(stored, expected, "stored rows do not close");
+    }
+
+    #[test]
+    fn plans_are_deterministic_in_their_inputs(
+        p in plan_strategy(),
+    ) {
+        let (degrees, shards, hubs) = p;
+        let a = ShardPlan::from_degrees(&degrees, shards, hubs, Default::default());
+        let b = ShardPlan::from_degrees(&degrees, shards, hubs, Default::default());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resident_count_matches_per_vertex_scan(
+        p in plan_strategy(),
+    ) {
+        let (degrees, shards, hubs) = p;
+        let plan = ShardPlan::from_degrees(&degrees, shards, hubs, Default::default());
+        // A pseudo-request touching every third vertex.
+        let request: Vec<u32> = (0..degrees.len() as u32).step_by(3).collect();
+        let bits = plan.request_residency(&request);
+        for s in 0..plan.shards() {
+            let naive = request
+                .iter()
+                .filter(|&&v| plan.is_resident(s, v as usize))
+                .count() as u64;
+            prop_assert_eq!(plan.resident_count(s, &bits), naive, "shard {} count diverges", s);
+        }
+    }
+}

@@ -19,9 +19,9 @@ use sgcn_graph::datasets::DatasetId;
 use sgcn_graph::sampling::Fanouts;
 
 /// One full queueing sweep on the real serving path (hotspot stream,
-/// every traffic model × policy, plus SLO-shedding and
-/// heterogeneous-fleet/work-stealing cells), returning every byte that
-/// lands in `BENCH_queue.json`.
+/// every traffic model × policy, plus SLO-shedding,
+/// heterogeneous-fleet/work-stealing and sharded-store cells),
+/// returning every byte that lands in `BENCH_queue.json`.
 fn queue_probe() -> Vec<String> {
     let cfg = ExperimentConfig::quick();
     let ctx = ServingContext::new(ServingConfig {
@@ -112,6 +112,20 @@ fn queue_probe() -> Vec<String> {
         &lineup,
         &ServeFormat::PALETTE,
     );
+    // Sharded-store cells: a real shard plan over the context graph,
+    // shard-oblivious vs shard-affinity routing — the per-request
+    // residency bitmaps and the network bill must be thread-invariant.
+    let plan = sgcn::serving::sharding::ShardPlan::from_graph(&ctx.dataset.graph, 3, 8);
+    for policy in [SchedPolicy::LeastLoaded, SchedPolicy::ShardAffinity] {
+        let qcfg = QueueConfig::new(3, policy, 0.9, 7)
+            .with_traffic(TrafficModel::bursty_default())
+            .with_sharding(plan.clone());
+        out.push(
+            simulate_queue(&prepared, &qcfg, &hw, row)
+                .summary
+                .to_json(&format!("sharded {}", policy.label())),
+        );
+    }
     for (name, brownout) in [("classes-lab-off", false), ("classes-lab-on", true)] {
         let mut lab_cfg = QueueConfig::new(3, SchedPolicy::CostAware, 1.5, 7)
             .with_traffic(TrafficModel::bursty_default())
